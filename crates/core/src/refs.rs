@@ -1,0 +1,124 @@
+//! Reference allocations used to normalize policy objectives (§4.1).
+//!
+//! - [`x_equal`]: the allocation a job would get with an equal time share on
+//!   every worker in the cluster; used to scale effective throughputs so
+//!   they are comparable across jobs.
+//! - [`x_isolated`]: the allocation a job would get with a dedicated `1/n`
+//!   of the cluster; used by finish-time fairness.
+//! - [`x_fastest`]: full time on the job's fastest accelerator type; used by
+//!   the FIFO objective.
+
+use crate::cluster::{AccelIdx, ClusterSpec};
+use crate::tensor::ThroughputTensor;
+
+/// The per-type time fractions of the paper's `X_equal_m`: an equal time
+/// share on each worker. For a cluster with 1 V100 and 1 K80 this is
+/// `[0.5, 0.5]`.
+///
+/// The share of type `j` is proportional to its worker count and the total
+/// sums to 1 (the job is always running somewhere).
+pub fn x_equal(cluster: &ClusterSpec) -> Vec<f64> {
+    let total = cluster.total_workers() as f64;
+    cluster
+        .types()
+        .map(|j| cluster.num_workers(j) as f64 / total)
+        .collect()
+}
+
+/// The paper's `X_isolated`: each of `n` jobs gets a dedicated `1/n` of the
+/// cluster. A job with scale factor `s` needs `s` workers at a time, so its
+/// time fraction on type `j` is `num_workers_j / (n * s)`, clamped so the
+/// total allocation does not exceed 1.
+pub fn x_isolated(cluster: &ClusterSpec, num_jobs: usize, scale_factor: u32) -> Vec<f64> {
+    assert!(num_jobs > 0, "x_isolated needs at least one job");
+    let denom = (num_jobs as f64) * (scale_factor.max(1) as f64);
+    let mut shares: Vec<f64> = cluster
+        .types()
+        .map(|j| cluster.num_workers(j) as f64 / denom)
+        .collect();
+    let total: f64 = shares.iter().sum();
+    if total > 1.0 {
+        for s in &mut shares {
+            *s /= total;
+        }
+    }
+    shares
+}
+
+/// Throughput of combo row `k` under `X_fastest`: full time on its fastest
+/// type. Returns 0 when the row cannot run anywhere.
+pub fn x_fastest(tensor: &ThroughputTensor, row: usize) -> f64 {
+    tensor.max_total(row)
+}
+
+/// Effective throughput of a single-job row under per-type time fractions
+/// `x` (a convenience for normalizers, which apply reference allocations to
+/// singleton rows only).
+pub fn throughput_under(tensor: &ThroughputTensor, row: usize, x: &[f64]) -> f64 {
+    (0..tensor.num_types())
+        .map(|j| tensor.entry(row, AccelIdx(j)).total() * x[j])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::PairThroughput;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(&[("v100", 1, 1, 0.0), ("k80", 1, 1, 0.0)])
+    }
+
+    #[test]
+    fn equal_shares_match_paper_example() {
+        let x = x_equal(&cluster());
+        assert_eq!(x, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn equal_shares_weighted_by_counts() {
+        let c = ClusterSpec::new(&[("a", 3, 1, 0.0), ("b", 1, 1, 0.0)]);
+        let x = x_equal(&c);
+        assert!((x[0] - 0.75).abs() < 1e-12);
+        assert!((x[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_clamps_to_total_one() {
+        // 2 workers, 1 job: raw shares [0.5, 0.5] sum to 1 exactly.
+        let x = x_isolated(&cluster(), 1, 1);
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // 4 jobs: each gets 1/4 of each worker.
+        let x = x_isolated(&cluster(), 4, 1);
+        assert_eq!(x, vec![0.25, 0.25]);
+    }
+
+    #[test]
+    fn isolated_scale_factor_shrinks_share() {
+        let c = ClusterSpec::new(&[("a", 8, 8, 0.0)]);
+        // With 16 jobs no clamping occurs, so the scale factor divides
+        // through directly.
+        let x1 = x_isolated(&c, 16, 1);
+        let x4 = x_isolated(&c, 16, 4);
+        assert!((x1[0] - 0.5).abs() < 1e-12);
+        assert!((x4[0] - 0.125).abs() < 1e-12);
+        assert!(x4[0] < x1[0]);
+        // With few jobs the share clamps at a total of 1.
+        let clamped = x_isolated(&c, 2, 1);
+        assert!((clamped[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_and_throughput_under() {
+        let tensor = ThroughputTensor::new(
+            2,
+            vec![vec![
+                PairThroughput::single(4.0),
+                PairThroughput::single(1.0),
+            ]],
+        );
+        assert_eq!(x_fastest(&tensor, 0), 4.0);
+        let t = throughput_under(&tensor, 0, &[0.5, 0.5]);
+        assert!((t - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Timing ablations for the design choices called out in DESIGN.md §8:
+//! bottleneck-detection method (probe vs MILP), pair-pruning threshold
+//! (LP size vs solve time), and greedy vs exact per-round packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gavel_core::{Policy, PolicyInput, PolicyJob};
+use gavel_policies::{BottleneckMethod, EntityPolicy, Hierarchical, MaxMinFairness};
+use gavel_workloads::{
+    build_tensor_with_pairs, cluster_scaled, generate, JobSpec, Oracle, PairOptions, TraceConfig,
+};
+
+fn jobs_and_specs(n: usize) -> (Vec<PolicyJob>, Vec<JobSpec>) {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::static_single(n, 5), &oracle);
+    let specs: Vec<JobSpec> = trace
+        .iter()
+        .map(|t| JobSpec {
+            id: t.id,
+            config: t.config,
+            scale_factor: 1,
+        })
+        .collect();
+    let mut jobs: Vec<PolicyJob> = trace
+        .iter()
+        .map(|t| PolicyJob::simple(t.id, t.total_steps))
+        .collect();
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.entity = Some(i % 2);
+    }
+    (jobs, specs)
+}
+
+fn bench_bottleneck_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bottleneck_detection");
+    group.sample_size(10);
+    let oracle = Oracle::new();
+    for &n in &[8usize, 16, 24] {
+        let (jobs, specs) = jobs_and_specs(n);
+        let (combos, tensor) = build_tensor_with_pairs(
+            &oracle,
+            &specs,
+            true,
+            &PairOptions {
+                min_aggregate: 2.0, // few pairs: keep MILP tractable
+                max_pairs_per_job: 1,
+            },
+        );
+        let cluster = cluster_scaled((n / 3).max(2));
+        for method in [BottleneckMethod::Probe, BottleneckMethod::Milp] {
+            let label = match method {
+                BottleneckMethod::Probe => "probe",
+                BottleneckMethod::Milp => "milp",
+            };
+            let policy =
+                Hierarchical::new(vec![1.0, 1.0], EntityPolicy::Fairness).with_bottleneck(method);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let input = PolicyInput {
+                        jobs: &jobs,
+                        combos: &combos,
+                        tensor: &tensor,
+                        cluster: &cluster,
+                    };
+                    policy.compute_allocation(&input).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pair_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pair_pruning");
+    group.sample_size(10);
+    let oracle = Oracle::new();
+    let n = 64;
+    let (jobs, specs) = jobs_and_specs(n);
+    let cluster = cluster_scaled(24);
+    for &threshold in &[1.0f64, 1.3, 1.6] {
+        let (combos, tensor) = build_tensor_with_pairs(
+            &oracle,
+            &specs,
+            true,
+            &PairOptions {
+                min_aggregate: threshold,
+                max_pairs_per_job: 8,
+            },
+        );
+        let rows = combos.len();
+        let policy = MaxMinFairness::with_space_sharing();
+        group.bench_with_input(
+            BenchmarkId::new(format!("threshold_{threshold}_rows_{rows}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let input = PolicyInput {
+                        jobs: &jobs,
+                        combos: &combos,
+                        tensor: &tensor,
+                        cluster: &cluster,
+                    };
+                    policy.compute_allocation(&input).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bottleneck_methods, bench_pair_pruning);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks matrix completion and fingerprint registration (the
+//! estimator runs on every job arrival when space sharing is enabled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gavel_estimator::{EstimatorConfig, MatrixCompletion, ThroughputEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reference(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.3..1.0)).collect();
+    (0..n)
+        .map(|i| (0..n).map(|j| 1.0 - 0.4 * u[i] * u[j]).collect())
+        .collect()
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator");
+    for &n in &[13usize, 26, 52] {
+        let refm = reference(n, 1);
+        // Completion over the extended matrix.
+        let mut observed: Vec<Vec<Option<f64>>> = refm
+            .iter()
+            .map(|r| r.iter().map(|&v| Some(v)).collect())
+            .collect();
+        let mut sparse = vec![None; n];
+        for j in (0..n).step_by(5) {
+            sparse[j] = Some(0.8);
+        }
+        observed.push(sparse.clone());
+        let mc = MatrixCompletion::default();
+        group.bench_with_input(BenchmarkId::new("complete", n), &observed, |b, obs| {
+            b.iter(|| mc.complete(obs))
+        });
+        // Full registration path.
+        group.bench_with_input(BenchmarkId::new("register", n), &refm, |b, refm| {
+            b.iter(|| {
+                let mut est = ThroughputEstimator::new(refm.clone(), EstimatorConfig::default());
+                est.register_job(0, &sparse)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks the round-based mechanism: per-round planning cost at
+//! realistic active-job counts (the mechanism runs every 6 minutes, so it
+//! must be cheap even with thousands of candidates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gavel_core::{Allocation, ComboSet, JobId};
+use gavel_sched::RoundScheduler;
+use gavel_workloads::cluster_scaled;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn setup(n: usize) -> (RoundScheduler, Allocation, HashMap<JobId, u32>) {
+    let cluster = cluster_scaled((n / 2).max(2));
+    let jobs: Vec<JobId> = (0..n as u64).map(JobId).collect();
+    let combos = ComboSet::singletons(&jobs);
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..0.5)).collect();
+            let total: f64 = row.iter().sum();
+            if total > 1.0 {
+                for v in &mut row {
+                    *v /= total;
+                }
+            }
+            row
+        })
+        .collect();
+    let alloc = Allocation::new(combos, values);
+    let sf: HashMap<JobId, u32> = jobs.iter().map(|&j| (j, 1)).collect();
+    (RoundScheduler::new(cluster), alloc, sf)
+}
+
+fn bench_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism");
+    for &n in &[64usize, 256, 1024] {
+        let (mut sched, alloc, sf) = setup(n);
+        // Warm the received-time state so priorities are non-trivial.
+        for _ in 0..5 {
+            let plan = sched.plan_round(&alloc, &sf);
+            sched.record(&plan, 360.0);
+        }
+        group.bench_with_input(BenchmarkId::new("plan_round", n), &n, |b, _| {
+            b.iter(|| sched.plan_round(&alloc, &sf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanism);
+criterion_main!(benches);

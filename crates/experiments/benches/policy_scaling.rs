@@ -1,0 +1,102 @@
+//! Criterion companion of Figure 12: policy solve time vs job count.
+//!
+//! Covers the sizes where statistical benchmarking is affordable; the
+//! `fig12_scalability` binary extends the sweep to larger instances with
+//! single-shot timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gavel_core::{Policy, PolicyInput, PolicyJob};
+use gavel_policies::{EntityPolicy, Hierarchical, MaxMinFairness};
+use gavel_workloads::{
+    build_singleton_tensor, build_tensor_with_pairs, cluster_scaled, generate, JobSpec, Oracle,
+    PairOptions, TraceConfig,
+};
+
+struct Instance {
+    jobs: Vec<PolicyJob>,
+    combos: gavel_core::ComboSet,
+    tensor: gavel_core::ThroughputTensor,
+    cluster: gavel_core::ClusterSpec,
+}
+
+fn instance(n: usize, pairs: bool) -> Instance {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::static_single(n, 5), &oracle);
+    let specs: Vec<JobSpec> = trace
+        .iter()
+        .map(|t| JobSpec {
+            id: t.id,
+            config: t.config,
+            scale_factor: 1,
+        })
+        .collect();
+    let mut jobs: Vec<PolicyJob> = trace
+        .iter()
+        .map(|t| PolicyJob::simple(t.id, t.total_steps))
+        .collect();
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.entity = Some(i % 4);
+    }
+    let (combos, tensor) = if pairs {
+        build_tensor_with_pairs(
+            &oracle,
+            &specs,
+            true,
+            &PairOptions {
+                min_aggregate: 1.3,
+                max_pairs_per_job: 4,
+            },
+        )
+    } else {
+        build_singleton_tensor(&oracle, &specs, true)
+    };
+    Instance {
+        jobs,
+        combos,
+        tensor,
+        cluster: cluster_scaled((n / 3).max(2)),
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_scaling");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        for (label, pairs) in [("las", false), ("las_ss", true)] {
+            let inst = instance(n, pairs);
+            let policy = if pairs {
+                MaxMinFairness::with_space_sharing()
+            } else {
+                MaxMinFairness::new()
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+                b.iter(|| {
+                    let input = PolicyInput {
+                        jobs: &inst.jobs,
+                        combos: &inst.combos,
+                        tensor: &inst.tensor,
+                        cluster: &inst.cluster,
+                    };
+                    policy.compute_allocation(&input).unwrap()
+                })
+            });
+        }
+        let inst = instance(n, false);
+        let hier = Hierarchical::new(vec![1.0; 4], EntityPolicy::Fairness);
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &inst, |b, inst| {
+            b.iter(|| {
+                let input = PolicyInput {
+                    jobs: &inst.jobs,
+                    combos: &inst.combos,
+                    tensor: &inst.tensor,
+                    cluster: &inst.cluster,
+                };
+                hier.compute_allocation(&input).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

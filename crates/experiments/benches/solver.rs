@@ -1,0 +1,51 @@
+//! Benchmarks the LP solver on the structured programs Gavel produces:
+//! max-min fairness LPs and makespan feasibility probes at several sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gavel_solver::{Cmp, LpProblem, Sense, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a synthetic max-min fairness LP with `n` jobs and 3 types.
+fn max_min_lp(n: usize, seed: u64) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x: Vec<Vec<VarId>> = (0..n)
+        .map(|m| {
+            (0..3)
+                .map(|j| lp.add_var(&format!("x_{m}_{j}"), 0.0, f64::INFINITY, 0.0))
+                .collect()
+        })
+        .collect();
+    let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+    for row in &x {
+        // Job time budget.
+        let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&terms, Cmp::Le, 1.0);
+        // Normalized throughput >= t.
+        let mut tput: Vec<(VarId, f64)> =
+            row.iter().map(|&v| (v, rng.gen_range(0.5..4.0))).collect();
+        tput.push((t, -1.0));
+        lp.add_constraint(&tput, Cmp::Ge, 0.0);
+    }
+    for j in 0..3 {
+        let terms: Vec<(VarId, f64)> = x.iter().map(|row| (row[j], 1.0)).collect();
+        lp.add_constraint(&terms, Cmp::Le, (n as f64 / 3.0).max(1.0));
+    }
+    lp
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    for &n in &[16usize, 64, 256] {
+        let lp = max_min_lp(n, 7);
+        group.bench_with_input(BenchmarkId::new("max_min_lp", n), &lp, |b, lp| {
+            b.iter(|| lp.solve().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

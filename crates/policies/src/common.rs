@@ -1,0 +1,302 @@
+//! Shared machinery for policy LPs.
+//!
+//! Every heterogeneity-aware policy optimizes over the same variable block —
+//! one `X[k][j]` per (combo row, accelerator type) — under the validity
+//! constraints of §3.1. [`AllocLp`] builds that block once; policies then
+//! add their objective and any extra constraints.
+
+use gavel_core::{AccelIdx, Allocation, ClusterSpec, JobId, Policy, PolicyError, PolicyInput};
+use gavel_solver::{Cmp, LpProblem, Sense, VarId};
+
+/// The common allocation-variable block of a policy LP.
+pub(crate) struct AllocLp {
+    /// The LP under construction.
+    pub lp: LpProblem,
+    /// `x[k][j]`: allocation variable for combo row `k` on type `j`.
+    /// Non-runnable cells map to `None` (fixed to zero by omission).
+    pub x: Vec<Vec<Option<VarId>>>,
+}
+
+impl AllocLp {
+    /// Creates allocation variables and the §3.1 validity constraints:
+    ///
+    /// - `X[k][j] >= 0`, with cells the tensor marks non-runnable omitted,
+    /// - per job `m`: `sum over combos containing m, types j of X <= 1`,
+    /// - per type `j`: `sum over combos k of scale_factor(k) * X[k][j] <=
+    ///   num_workers_j`.
+    ///
+    /// Individual `X <= 1` bounds are implied by the per-job rows.
+    pub fn new(input: &PolicyInput<'_>, sense: Sense) -> Self {
+        let mut lp = LpProblem::new(sense);
+        let num_types = input.cluster.num_types();
+        let mut x: Vec<Vec<Option<VarId>>> = Vec::with_capacity(input.combos.len());
+        for (k, _combo) in input.combos.combos().iter().enumerate() {
+            let mut row = Vec::with_capacity(num_types);
+            for j in 0..num_types {
+                let entry = input.tensor.entry(k, AccelIdx(j));
+                if entry.runnable() {
+                    row.push(Some(lp.add_var(
+                        &format!("x_{k}_{j}"),
+                        0.0,
+                        f64::INFINITY,
+                        0.0,
+                    )));
+                } else {
+                    row.push(None);
+                }
+            }
+            x.push(row);
+        }
+
+        // Per-job time budget.
+        for job in input.jobs {
+            let mut terms = Vec::new();
+            for k in input.combos.rows_containing(job.id) {
+                for v in x[k].iter().flatten() {
+                    terms.push((*v, 1.0));
+                }
+            }
+            if !terms.is_empty() {
+                lp.add_constraint(&terms, Cmp::Le, 1.0);
+            }
+        }
+
+        // Per-type worker capacity, weighted by combo scale factor.
+        for j in 0..num_types {
+            let mut terms = Vec::new();
+            for (k, combo) in input.combos.combos().iter().enumerate() {
+                if let Some(v) = x[k][j] {
+                    terms.push((v, combo_scale_factor(input, combo) as f64));
+                }
+            }
+            if !terms.is_empty() {
+                lp.add_constraint(
+                    &terms,
+                    Cmp::Le,
+                    input.cluster.num_workers(AccelIdx(j)) as f64,
+                );
+            }
+        }
+
+        AllocLp { lp, x }
+    }
+
+    /// Linear terms of `throughput(job, X)` — the effective-throughput
+    /// expression of §3.1 over this LP's variables.
+    pub fn throughput_terms(&self, input: &PolicyInput<'_>, job: JobId) -> Vec<(VarId, f64)> {
+        let mut terms = Vec::new();
+        for (k, combo) in input.combos.combos().iter().enumerate() {
+            if !combo.contains(job) {
+                continue;
+            }
+            for (j, v) in self.x[k].iter().enumerate() {
+                if let Some(v) = v {
+                    let t = input.tensor.entry(k, AccelIdx(j)).for_job(combo, job);
+                    if t > 0.0 {
+                        terms.push((*v, t));
+                    }
+                }
+            }
+        }
+        terms
+    }
+
+    /// Reads the solved variables back into an [`Allocation`].
+    pub fn extract(&self, input: &PolicyInput<'_>, sol: &gavel_solver::LpSolution) -> Allocation {
+        let mut alloc = Allocation::zeros(input.combos.clone(), input.cluster.num_types());
+        for (k, row) in self.x.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if let Some(v) = v {
+                    // Clamp solver noise into the valid range.
+                    *alloc.get_mut(k, AccelIdx(j)) = sol.value(*v).clamp(0.0, 1.0);
+                }
+            }
+        }
+        alloc
+    }
+}
+
+/// Scale factor of a combo: the maximum of its members' (pairs are formed
+/// between equal-scale jobs by the tensor builders).
+pub(crate) fn combo_scale_factor(input: &PolicyInput<'_>, combo: &gavel_core::Combo) -> u32 {
+    combo
+        .jobs()
+        .filter_map(|id| input.job(id).map(|j| j.scale_factor))
+        .max()
+        .unwrap_or(1)
+}
+
+/// `throughput(m, X_equal)` — the normalizer of §4.1: the job's singleton
+/// throughput under an equal time share on every worker.
+pub(crate) fn equal_share_throughput(input: &PolicyInput<'_>, job_idx: usize) -> f64 {
+    let x_eq = gavel_core::x_equal(input.cluster);
+    // Singleton rows are constructed parallel to jobs by the tensor
+    // builders; find the singleton row for this job defensively.
+    let id = input.jobs[job_idx].id;
+    let row = singleton_row(input, id);
+    gavel_core::refs::throughput_under(input.tensor, row, &x_eq)
+}
+
+/// Index of the singleton combo row for `job`.
+///
+/// # Panics
+///
+/// Panics if the combo set lacks a singleton row for the job — the input
+/// contract requires singleton coverage of every job.
+pub(crate) fn singleton_row(input: &PolicyInput<'_>, job: JobId) -> usize {
+    input
+        .combos
+        .combos()
+        .iter()
+        .position(|c| !c.is_pair() && c.a == job)
+        .unwrap_or_else(|| panic!("no singleton combo row for {job}"))
+}
+
+/// Converts a solver error into a policy error.
+pub(crate) fn solver_err(e: gavel_solver::SolverError) -> PolicyError {
+    PolicyError::Solver(Box::new(e))
+}
+
+/// Validates common input requirements shared by all policies: every job
+/// has a singleton row and can run somewhere.
+pub(crate) fn check_input(input: &PolicyInput<'_>) -> Result<(), PolicyError> {
+    for job in input.jobs {
+        let row = input
+            .combos
+            .combos()
+            .iter()
+            .position(|c| !c.is_pair() && c.a == job.id)
+            .ok_or_else(|| {
+                PolicyError::InvalidInput(format!("no singleton combo for {}", job.id))
+            })?;
+        if !input.tensor.runnable_anywhere(row) {
+            return Err(PolicyError::NoFeasibleAllocation(format!(
+                "{} cannot run on any accelerator type",
+                job.id
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Scalar max-min water-filling over per-job time shares, used by the
+/// heterogeneity-agnostic baselines: maximize `min_m share_m / w_m` subject
+/// to `sum_m share_m * sf_m <= capacity` and `share_m <= 1`.
+///
+/// Returns one share per job. Runs in `O(n log n)`.
+pub(crate) fn waterfill_shares(weights: &[f64], scale_factors: &[u32], capacity: f64) -> Vec<f64> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let demand = |lambda: f64| -> f64 {
+        (0..n)
+            .map(|i| scale_factors[i] as f64 * (lambda * weights[i]).min(1.0))
+            .sum()
+    };
+    // If everyone saturating at share 1 still fits, that is the optimum.
+    let max_level = weights
+        .iter()
+        .fold(0.0f64, |acc, &w| acc.max(1.0 / w.max(1e-12)));
+    if demand(max_level) <= capacity {
+        return vec![1.0; n];
+    }
+    // Otherwise bisect the water level: demand is monotone in lambda.
+    let (mut lo, mut hi) = (0.0f64, max_level);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if demand(mid) <= capacity {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (0..n).map(|i| (lo * weights[i]).min(1.0)).collect()
+}
+
+/// Spreads per-job time shares uniformly across accelerator types in
+/// proportion to worker counts — the allocation a heterogeneity-agnostic
+/// scheduler realizes. Types where the job cannot run at all (GPU memory)
+/// are excluded: even agnostic schedulers know memory feasibility.
+pub(crate) fn uniform_spread(
+    input: &PolicyInput<'_>,
+    shares: &[f64],
+) -> Result<Allocation, PolicyError> {
+    let cluster: &ClusterSpec = input.cluster;
+    let mut alloc = Allocation::zeros(input.combos.clone(), cluster.num_types());
+    for (m, job) in input.jobs.iter().enumerate() {
+        let row = singleton_row(input, job.id);
+        let runnable: Vec<_> = cluster
+            .types()
+            .filter(|&j| input.tensor.entry(row, j).runnable())
+            .collect();
+        let total: f64 = runnable
+            .iter()
+            .map(|&j| cluster.num_workers(j) as f64)
+            .sum();
+        if total <= 0.0 {
+            continue;
+        }
+        for &j in &runnable {
+            *alloc.get_mut(row, j) = shares[m] * cluster.num_workers(j) as f64 / total;
+        }
+    }
+    Ok(alloc)
+}
+
+/// Boxed-policy convenience used by experiment sweeps.
+pub fn boxed<P: Policy + 'static>(p: P) -> Box<dyn Policy> {
+    Box::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waterfill_even_split() {
+        let shares = waterfill_shares(&[1.0, 1.0, 1.0, 1.0], &[1, 1, 1, 1], 2.0);
+        for s in &shares {
+            assert!((s - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn waterfill_caps_at_one() {
+        // Plenty of capacity: everyone saturates at 1.
+        let shares = waterfill_shares(&[1.0, 2.0], &[1, 1], 10.0);
+        assert!((shares[0] - 1.0).abs() < 1e-9);
+        assert!((shares[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_respects_weights() {
+        // Capacity 1 split between weights 3 and 1: shares 0.75 / 0.25.
+        let shares = waterfill_shares(&[3.0, 1.0], &[1, 1], 1.0);
+        assert!((shares[0] - 0.75).abs() < 1e-9, "{shares:?}");
+        assert!((shares[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_heavy_saturation_releases_capacity() {
+        // Weight-10 job saturates at 1, leaving 2 units for the others.
+        let shares = waterfill_shares(&[10.0, 1.0, 1.0], &[1, 1, 1], 3.0);
+        assert!((shares[0] - 1.0).abs() < 1e-9);
+        assert!((shares[1] - 1.0).abs() < 1e-9, "{shares:?}");
+        assert!((shares[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_scale_factors_consume_capacity() {
+        // Two jobs, one with sf 3: capacity 2 => level where s0*3 + s1 = 2,
+        // equal weights => s0 = s1 = 0.5.
+        let shares = waterfill_shares(&[1.0, 1.0], &[3, 1], 2.0);
+        assert!((shares[0] - 0.5).abs() < 1e-9, "{shares:?}");
+        assert!((shares[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_empty() {
+        assert!(waterfill_shares(&[], &[], 4.0).is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Cost policies for public-cloud deployments — §4.2.
+//!
+//! - [`MaxTotalThroughput`]: maximizes the sum of normalized effective
+//!   throughputs (the cost-unaware baseline of §7.3).
+//! - [`MinCost`]: maximizes throughput per dollar — the linear-fractional
+//!   program of §4.2, solved via the Charnes–Cooper transform.
+//! - [`MinCostSlo`]: same, with per-job SLO constraints
+//!   `throughput(m, X) >= steps_m / SLO_m`. Jobs whose SLO is infeasible
+//!   are relaxed to best-effort rather than failing the whole solve.
+//!
+//! With space sharing the instance cost is counted once per combo row, not
+//! once per job, matching the paper's double-counting caveat.
+
+use crate::common::{check_input, singleton_row, solver_err, AllocLp};
+use gavel_core::{refs, AccelIdx, Allocation, Policy, PolicyError, PolicyInput};
+use gavel_solver::{solve_fractional, Cmp, FractionalObjective, Sense, SolverError, VarId};
+
+/// Maximize the sum of normalized effective throughputs.
+#[derive(Debug, Clone, Default)]
+pub struct MaxTotalThroughput;
+
+impl MaxTotalThroughput {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        MaxTotalThroughput
+    }
+}
+
+impl Policy for MaxTotalThroughput {
+    fn name(&self) -> &str {
+        "max-throughput"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        for job in input.jobs {
+            let row = singleton_row(input, job.id);
+            let fastest = refs::x_fastest(input.tensor, row).max(1e-12);
+            for (v, coeff) in alp.throughput_terms(input, job.id) {
+                alp.lp.add_objective_coeff(v, coeff / fastest);
+            }
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+        Ok(alp.extract(input, &sol))
+    }
+}
+
+/// Builds the dollar-cost linear terms: `sum over rows k, types j of
+/// price_j * X[k][j]` (counted once per combo row).
+fn cost_terms(input: &PolicyInput<'_>, alp: &AllocLp) -> Vec<(VarId, f64)> {
+    let mut terms = Vec::new();
+    for (k, row) in alp.x.iter().enumerate() {
+        let _ = k;
+        for (j, v) in row.iter().enumerate() {
+            if let Some(v) = v {
+                let price = input.cluster.price_per_hour(AccelIdx(j));
+                if price > 0.0 {
+                    terms.push((*v, price));
+                }
+            }
+        }
+    }
+    terms
+}
+
+/// Builds the normalized-throughput numerator terms shared by the two cost
+/// policies.
+fn normalized_throughput_terms(input: &PolicyInput<'_>, alp: &AllocLp) -> Vec<(VarId, f64)> {
+    let mut acc: std::collections::HashMap<VarId, f64> = std::collections::HashMap::new();
+    for job in input.jobs {
+        let row = singleton_row(input, job.id);
+        let fastest = refs::x_fastest(input.tensor, row).max(1e-12);
+        for (v, coeff) in alp.throughput_terms(input, job.id) {
+            *acc.entry(v).or_insert(0.0) += coeff / fastest;
+        }
+    }
+    acc.into_iter().collect()
+}
+
+/// Maximize throughput per dollar (the "minimize cost" policy of §7.3).
+///
+/// Pure ratio maximization degenerates to running *only* the single most
+/// cost-efficient job (any lower-ratio job dilutes the average), which
+/// starves the rest of the workload indefinitely. `min_progress` adds a
+/// floor — every job must receive at least that fraction of its fastest
+/// throughput — trading a little cost for liveness.
+#[derive(Debug, Clone)]
+pub struct MinCost {
+    /// Per-job throughput floor as a fraction of the job's fastest rate
+    /// (0.0 disables the floor).
+    pub min_progress: f64,
+}
+
+impl Default for MinCost {
+    fn default() -> Self {
+        MinCost { min_progress: 0.05 }
+    }
+}
+
+impl MinCost {
+    /// Creates the policy with the default progress floor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The unmodified paper objective (no progress floor).
+    pub fn without_progress_floor() -> Self {
+        MinCost { min_progress: 0.0 }
+    }
+}
+
+impl Policy for MinCost {
+    fn name(&self) -> &str {
+        "min-cost"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        solve_cost(input, false, self.min_progress)
+    }
+}
+
+/// Maximize throughput per dollar subject to SLO throughput floors.
+#[derive(Debug, Clone)]
+pub struct MinCostSlo {
+    /// Per-job throughput floor as a fraction of the job's fastest rate
+    /// (applies to jobs without SLOs; SLO jobs get their SLO floor).
+    pub min_progress: f64,
+}
+
+impl Default for MinCostSlo {
+    fn default() -> Self {
+        MinCostSlo { min_progress: 0.05 }
+    }
+}
+
+impl MinCostSlo {
+    /// Creates the policy with the default progress floor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for MinCostSlo {
+    fn name(&self) -> &str {
+        "min-cost-slo"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        solve_cost(input, true, self.min_progress)
+    }
+}
+
+fn solve_cost(
+    input: &PolicyInput<'_>,
+    with_slos: bool,
+    min_progress: f64,
+) -> Result<Allocation, PolicyError> {
+    if input.jobs.is_empty() {
+        return Ok(Allocation::zeros(
+            input.combos.clone(),
+            input.cluster.num_types(),
+        ));
+    }
+    // Retry with successively halved progress floors if the combination of
+    // floors is infeasible (more jobs than the cluster can float at once).
+    let mut floor = min_progress.clamp(0.0, 1.0);
+    for _ in 0..6 {
+        match solve_cost_once(input, with_slos, floor) {
+            Err(PolicyError::NoFeasibleAllocation(_)) if floor > 1e-4 => floor *= 0.5,
+            other => return other,
+        }
+    }
+    solve_cost_once(input, with_slos, 0.0)
+}
+
+fn solve_cost_once(
+    input: &PolicyInput<'_>,
+    with_slos: bool,
+    min_progress: f64,
+) -> Result<Allocation, PolicyError> {
+    let mut alp = AllocLp::new(input, Sense::Maximize);
+
+    if min_progress > 0.0 {
+        for job in input.jobs {
+            if with_slos && job.slo_seconds_remaining.is_some() {
+                continue; // The SLO constraint below is a stronger floor.
+            }
+            let row = singleton_row(input, job.id);
+            let fastest = refs::x_fastest(input.tensor, row);
+            let terms = alp.throughput_terms(input, job.id);
+            alp.lp
+                .add_constraint(&terms, Cmp::Ge, min_progress * fastest);
+        }
+    }
+
+    if with_slos {
+        for job in input.jobs {
+            let Some(slo) = job.slo_seconds_remaining else {
+                continue;
+            };
+            let row = singleton_row(input, job.id);
+            let fastest = refs::x_fastest(input.tensor, row);
+            // Required throughput to meet the SLO; if even a dedicated
+            // fastest accelerator cannot meet it, relax to best effort
+            // (full-speed floor) instead of making the program infeasible.
+            let required = if slo > 0.0 {
+                (job.steps_remaining / slo).min(fastest * (1.0 - 1e-6))
+            } else {
+                fastest * (1.0 - 1e-6)
+            };
+            if required > 0.0 {
+                let terms = alp.throughput_terms(input, job.id);
+                alp.lp.add_constraint(&terms, Cmp::Ge, required);
+            }
+        }
+    }
+
+    let num = normalized_throughput_terms(input, &alp);
+    let den = cost_terms(input, &alp);
+    if den.is_empty() {
+        // Free cluster: degenerate to max throughput.
+        for (v, c) in &num {
+            alp.lp.add_objective_coeff(*v, *c);
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+        return Ok(alp.extract(input, &sol));
+    }
+
+    let obj = FractionalObjective {
+        num,
+        num_const: 0.0,
+        // A tiny denominator constant keeps the ratio defined at X = 0 and
+        // is negligible against real prices.
+        den,
+        den_const: 1e-9,
+    };
+    match solve_fractional(&alp.lp, &obj, Sense::Maximize) {
+        Ok(sol) => Ok(alp.extract(input, &sol)),
+        Err(SolverError::Infeasible) => Err(PolicyError::NoFeasibleAllocation(
+            "SLO constraints are jointly infeasible".into(),
+        )),
+        Err(e) => Err(solver_err(e)),
+    }
+}

@@ -1,0 +1,200 @@
+//! First-In-First-Out policies — §4.2.
+//!
+//! The heterogeneity-aware FIFO objective places earlier-arrived jobs on
+//! their fastest available accelerator types:
+//!
+//! ```text
+//! maximize sum_m  throughput(m, X) / throughput(m, X_fastest) * (M - m)
+//! ```
+//!
+//! where jobs are enumerated in arrival order. The agnostic baseline packs
+//! jobs onto workers in arrival order without regard to type.
+
+use crate::common::{check_input, singleton_row, solver_err, AllocLp};
+use gavel_core::{refs, AccelIdx, Allocation, Policy, PolicyError, PolicyInput};
+use gavel_solver::Sense;
+
+/// Heterogeneity-aware FIFO, optionally space-sharing aware.
+#[derive(Debug, Clone, Default)]
+pub struct FifoHet {
+    /// Whether the policy should be offered space-sharing pair rows.
+    pub space_sharing: bool,
+}
+
+impl FifoHet {
+    /// FIFO without space sharing.
+    pub fn new() -> Self {
+        FifoHet {
+            space_sharing: false,
+        }
+    }
+
+    /// FIFO with space sharing.
+    pub fn with_space_sharing() -> Self {
+        FifoHet {
+            space_sharing: true,
+        }
+    }
+}
+
+impl Policy for FifoHet {
+    fn name(&self) -> &str {
+        if self.space_sharing {
+            "fifo-het-ss"
+        } else {
+            "fifo-het"
+        }
+    }
+
+    fn wants_space_sharing(&self) -> bool {
+        self.space_sharing
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        if input.jobs.is_empty() {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+        // Rank jobs by arrival: earliest gets the largest multiplier M - m.
+        let mut order: Vec<usize> = (0..input.jobs.len()).collect();
+        order.sort_by_key(|&m| input.jobs[m].arrival_seq);
+        let big_m = input.jobs.len() as f64;
+
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        for (rank, &m) in order.iter().enumerate() {
+            let job = &input.jobs[m];
+            let row = singleton_row(input, job.id);
+            let fastest = refs::x_fastest(input.tensor, row);
+            if fastest <= 0.0 {
+                return Err(PolicyError::NoFeasibleAllocation(format!(
+                    "{} cannot run anywhere",
+                    job.id
+                )));
+            }
+            let mult = (big_m - rank as f64) / fastest;
+            for (v, coeff) in alp.throughput_terms(input, job.id) {
+                alp.lp.add_objective_coeff(v, coeff * mult);
+            }
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+        Ok(alp.extract(input, &sol))
+    }
+}
+
+/// Heterogeneity-agnostic FIFO baseline: in arrival order, each job grabs
+/// a full-time allocation on whatever capacity is left, spread round-robin
+/// across types without considering throughput.
+#[derive(Debug, Clone, Default)]
+pub struct FifoAgnostic;
+
+impl FifoAgnostic {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        FifoAgnostic
+    }
+}
+
+impl Policy for FifoAgnostic {
+    fn name(&self) -> &str {
+        "fifo-agnostic"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        let num_types = input.cluster.num_types();
+        let mut remaining: Vec<f64> = input
+            .cluster
+            .types()
+            .map(|j| input.cluster.num_workers(j) as f64)
+            .collect();
+        let mut order: Vec<usize> = (0..input.jobs.len()).collect();
+        order.sort_by_key(|&m| input.jobs[m].arrival_seq);
+
+        let mut alloc = Allocation::zeros(input.combos.clone(), num_types);
+        // Round-robin cursor so ties do not always favor type 0.
+        let mut cursor = 0usize;
+        for &m in &order {
+            let job = &input.jobs[m];
+            let row = singleton_row(input, job.id);
+            let sf = job.scale_factor.max(1) as f64;
+            // Find a type (starting at the cursor) with enough capacity
+            // where the job can actually run.
+            for probe in 0..num_types {
+                let j = (cursor + probe) % num_types;
+                let runnable = input.tensor.entry(row, AccelIdx(j)).runnable();
+                if runnable && remaining[j] >= sf {
+                    remaining[j] -= sf;
+                    *alloc.get_mut(row, AccelIdx(j)) = 1.0;
+                    cursor = (j + 1) % num_types;
+                    break;
+                }
+            }
+        }
+        Ok(alloc)
+    }
+}
+
+/// Shortest Job First — §4.2: maximize the throughput of the job with the
+/// smallest remaining ideal duration, then lightly pack the rest.
+#[derive(Debug, Clone, Default)]
+pub struct ShortestJobFirst;
+
+impl ShortestJobFirst {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        ShortestJobFirst
+    }
+}
+
+impl Policy for ShortestJobFirst {
+    fn name(&self) -> &str {
+        "sjf-het"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        if input.jobs.is_empty() {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+        // The shortest job by ideal duration (steps / fastest throughput).
+        let shortest = input
+            .jobs
+            .iter()
+            .enumerate()
+            .min_by(|(ma, a), (mb, b)| {
+                let ra = singleton_row(input, a.id);
+                let rb = singleton_row(input, b.id);
+                let da = a.steps_remaining / refs::x_fastest(input.tensor, ra).max(1e-12);
+                let db = b.steps_remaining / refs::x_fastest(input.tensor, rb).max(1e-12);
+                da.partial_cmp(&db).unwrap().then(ma.cmp(mb))
+            })
+            .map(|(m, _)| m)
+            .expect("non-empty jobs");
+
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        let short_id = input.jobs[shortest].id;
+        for (v, coeff) in alp.throughput_terms(input, short_id) {
+            alp.lp.add_objective_coeff(v, coeff);
+        }
+        // Tiny secondary term packs the remaining jobs without disturbing
+        // the primary objective.
+        for job in input.jobs {
+            if job.id == short_id {
+                continue;
+            }
+            let row = singleton_row(input, job.id);
+            let fastest = refs::x_fastest(input.tensor, row).max(1e-12);
+            for (v, coeff) in alp.throughput_terms(input, job.id) {
+                alp.lp.add_objective_coeff(v, 1e-6 * coeff / fastest);
+            }
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+        Ok(alp.extract(input, &sol))
+    }
+}

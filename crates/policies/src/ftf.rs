@@ -1,0 +1,234 @@
+//! Finish-Time Fairness (Themis) policies — §4.2.
+//!
+//! Finish-time fairness of job `m` under allocation `X` is
+//!
+//! ```text
+//! rho(m, X) = (t_m + steps_m / throughput(m, X)) / D_m
+//! D_m       =  t_m + steps_m / throughput(m, X_isolated)
+//! ```
+//!
+//! i.e. the projected completion time relative to a dedicated `1/n` cluster
+//! share. `minimize max_m rho` is quasi-convex in `X`: for a fixed `rho`
+//! the constraint `throughput(m, X) >= steps_m / (rho * D_m - t_m)` is
+//! linear, so the optimum is found by bisection over LP feasibility
+//! problems (the same sequence-of-LPs technique as makespan).
+
+use crate::common::{check_input, singleton_row, uniform_spread, AllocLp};
+use gavel_core::{refs, Allocation, Policy, PolicyError, PolicyInput};
+use gavel_solver::{bisect_min, Cmp, Sense, SolverError};
+
+/// Computes each job's isolated-share denominator `D_m`.
+fn isolated_denominators(input: &PolicyInput<'_>) -> Result<Vec<f64>, PolicyError> {
+    let n = input.jobs.len();
+    let mut out = Vec::with_capacity(n);
+    for job in input.jobs {
+        let row = singleton_row(input, job.id);
+        let x_iso = refs::x_isolated(input.cluster, n, job.scale_factor);
+        let tput_iso = refs::throughput_under(input.tensor, row, &x_iso);
+        if tput_iso <= 0.0 {
+            return Err(PolicyError::NoFeasibleAllocation(format!(
+                "{} has zero isolated throughput",
+                job.id
+            )));
+        }
+        out.push(job.time_elapsed + job.steps_remaining / tput_iso);
+    }
+    Ok(out)
+}
+
+/// Heterogeneity-aware finish-time fairness.
+#[derive(Debug, Clone)]
+pub struct FinishTimeFairness {
+    /// Relative bisection tolerance on rho.
+    pub tolerance: f64,
+}
+
+impl Default for FinishTimeFairness {
+    fn default() -> Self {
+        FinishTimeFairness { tolerance: 1e-3 }
+    }
+}
+
+impl FinishTimeFairness {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn probe(&self, input: &PolicyInput<'_>, denoms: &[f64], rho: f64) -> Option<Allocation> {
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        for (m, job) in input.jobs.iter().enumerate() {
+            let budget = rho * denoms[m] - job.time_elapsed;
+            if budget <= 0.0 {
+                return None; // This job cannot meet rho at any speed.
+            }
+            let required = job.steps_remaining / budget;
+            let terms = alp.throughput_terms(input, job.id);
+            alp.lp.add_constraint(&terms, Cmp::Ge, required);
+        }
+        match alp.lp.solve() {
+            Ok(sol) => Some(alp.extract(input, &sol)),
+            Err(SolverError::Infeasible) => None,
+            Err(_) => None,
+        }
+    }
+}
+
+impl Policy for FinishTimeFairness {
+    fn name(&self) -> &str {
+        "ftf-het"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        if input.jobs.is_empty() {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+        let denoms = isolated_denominators(input)?;
+        let n = input.jobs.len();
+
+        // A guaranteed-feasible rho: the equal-split allocation.
+        let mut hi = 0.0f64;
+        let mut lo = f64::INFINITY;
+        let x_eq = gavel_core::x_equal(input.cluster);
+        for (m, job) in input.jobs.iter().enumerate() {
+            let row = singleton_row(input, job.id);
+            let norm = refs::throughput_under(input.tensor, row, &x_eq);
+            let tput_eq = norm / n as f64;
+            if tput_eq <= 0.0 {
+                return Err(PolicyError::NoFeasibleAllocation(format!(
+                    "{} has zero equal-share throughput",
+                    job.id
+                )));
+            }
+            let rho_eq = (job.time_elapsed + job.steps_remaining / tput_eq) / denoms[m];
+            hi = hi.max(rho_eq);
+            lo = lo.min(job.time_elapsed / denoms[m]);
+        }
+        hi = hi * 1.01 + 1e-6;
+        let lo = (lo * 0.99).max(1e-9);
+
+        let tol = self.tolerance * hi.max(1.0);
+        let best = bisect_min(lo, hi, tol, 80, |rho| {
+            self.probe(input, &denoms, rho).is_some()
+        })
+        .ok_or_else(|| PolicyError::NoFeasibleAllocation("no rho is feasible".into()))?;
+        self.probe(input, &denoms, best)
+            .ok_or_else(|| PolicyError::Solver(Box::new(SolverError::Infeasible)))
+    }
+}
+
+/// Heterogeneity-agnostic finish-time fairness baseline: jobs receive time
+/// *shares* spread uniformly over types; the policy bisects the same rho
+/// objective but cannot bias the type mix per job.
+#[derive(Debug, Clone)]
+pub struct FtfAgnostic {
+    /// Relative bisection tolerance on rho.
+    pub tolerance: f64,
+}
+
+impl Default for FtfAgnostic {
+    fn default() -> Self {
+        FtfAgnostic { tolerance: 1e-3 }
+    }
+}
+
+impl FtfAgnostic {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for FtfAgnostic {
+    fn name(&self) -> &str {
+        "ftf-agnostic"
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        if input.jobs.is_empty() {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+        let denoms = isolated_denominators(input)?;
+        let capacity = input.cluster.total_workers() as f64;
+        let x_eq = gavel_core::x_equal(input.cluster);
+        // Under the uniform-spread restriction a share s gives throughput
+        // s * norm_m.
+        let norms: Vec<f64> = input
+            .jobs
+            .iter()
+            .map(|job| {
+                let row = singleton_row(input, job.id);
+                refs::throughput_under(input.tensor, row, &x_eq)
+            })
+            .collect();
+        if norms.iter().any(|&x| x <= 0.0) {
+            return Err(PolicyError::NoFeasibleAllocation(
+                "a job has zero equal-share throughput".into(),
+            ));
+        }
+
+        // Required share per job at a given rho.
+        let required = |rho: f64| -> Option<Vec<f64>> {
+            let mut shares = Vec::with_capacity(input.jobs.len());
+            for (m, job) in input.jobs.iter().enumerate() {
+                let budget = rho * denoms[m] - job.time_elapsed;
+                if budget <= 0.0 {
+                    return None;
+                }
+                let s = job.steps_remaining / (budget * norms[m]);
+                if s > 1.0 + 1e-9 {
+                    return None;
+                }
+                shares.push(s.min(1.0));
+            }
+            let used: f64 = shares
+                .iter()
+                .zip(input.jobs)
+                .map(|(s, j)| s * j.scale_factor.max(1) as f64)
+                .sum();
+            if used <= capacity + 1e-9 {
+                Some(shares)
+            } else {
+                None
+            }
+        };
+
+        let hi = {
+            // Equal split is always feasible under the share model.
+            let n = input.jobs.len() as f64;
+            let mut hi = 0.0f64;
+            for (m, job) in input.jobs.iter().enumerate() {
+                let tput = norms[m] / n;
+                hi = hi.max((job.time_elapsed + job.steps_remaining / tput) / denoms[m]);
+            }
+            hi * 1.01 + 1e-6
+        };
+        let tol = self.tolerance * hi.max(1.0);
+        let best = bisect_min(1e-9, hi, tol, 80, |rho| required(rho).is_some())
+            .ok_or_else(|| PolicyError::NoFeasibleAllocation("no rho is feasible".into()))?;
+        let mut shares =
+            required(best).ok_or_else(|| PolicyError::Solver(Box::new(SolverError::Infeasible)))?;
+
+        // Lift: scale all shares up proportionally into leftover capacity.
+        let used: f64 = shares
+            .iter()
+            .zip(input.jobs)
+            .map(|(s, j)| s * j.scale_factor.max(1) as f64)
+            .sum();
+        if used > 1e-12 {
+            let kappa = (capacity / used).max(1.0);
+            for s in &mut shares {
+                *s = (*s * kappa).min(1.0);
+            }
+        }
+        uniform_spread(input, &shares)
+    }
+}

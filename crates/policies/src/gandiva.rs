@@ -1,0 +1,217 @@
+//! Gandiva-style baseline: heterogeneity-agnostic time sharing with ad-hoc
+//! space sharing (OSDI '18, as characterized in §8 of the Gavel paper).
+//!
+//! Gandiva does not optimize an explicit objective. It time-shares jobs
+//! round-robin and *randomly explores* job packings, keeping a packing if
+//! the observed combined throughput improves on time slicing. This module
+//! reproduces that behaviour on top of the tensor: every invocation tries a
+//! few random candidate pairs (paying the exploration regardless of
+//! quality, as the real system does for the trial round), keeps pairs whose
+//! measured aggregate normalized throughput exceeds 1, and drops pairs that
+//! turned out bad.
+
+use crate::common::{check_input, singleton_row, waterfill_shares};
+use gavel_core::{AccelIdx, Allocation, Combo, JobId, Policy, PolicyError, PolicyInput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Gandiva-style ad-hoc space sharing baseline.
+#[derive(Debug)]
+pub struct GandivaPolicy {
+    state: Mutex<GandivaState>,
+    /// Random pair trials per invocation.
+    pub trials_per_round: usize,
+    /// Keep a trial pair when its aggregate normalized throughput exceeds
+    /// this (1.0 = break-even with time slicing).
+    pub keep_threshold: f64,
+}
+
+#[derive(Debug)]
+struct GandivaState {
+    rng: StdRng,
+    good_pairs: HashSet<(JobId, JobId)>,
+    rejected_pairs: HashSet<(JobId, JobId)>,
+}
+
+impl GandivaPolicy {
+    /// Creates the baseline with a deterministic exploration seed.
+    pub fn new(seed: u64) -> Self {
+        GandivaPolicy {
+            state: Mutex::new(GandivaState {
+                rng: StdRng::seed_from_u64(seed),
+                good_pairs: HashSet::new(),
+                rejected_pairs: HashSet::new(),
+            }),
+            trials_per_round: 2,
+            keep_threshold: 1.05,
+        }
+    }
+
+    /// Aggregate normalized throughput of pair row `k` on its best type.
+    fn pair_score(input: &PolicyInput<'_>, k: usize) -> f64 {
+        let combo = input.combos.combos()[k];
+        let (a, b) = (combo.a, combo.b.expect("pair row"));
+        let row_a = singleton_row(input, a);
+        let row_b = singleton_row(input, b);
+        let mut best: f64 = 0.0;
+        for j in 0..input.tensor.num_types() {
+            let e = input.tensor.entry(k, AccelIdx(j));
+            let ia = input.tensor.entry(row_a, AccelIdx(j)).a;
+            let ib = input.tensor.entry(row_b, AccelIdx(j)).a;
+            if ia > 0.0 && ib > 0.0 && e.runnable() {
+                best = best.max(e.a / ia + e.b / ib);
+            }
+        }
+        best
+    }
+}
+
+impl Policy for GandivaPolicy {
+    fn name(&self) -> &str {
+        "gandiva"
+    }
+
+    fn wants_space_sharing(&self) -> bool {
+        true
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        let mut st = self.state.lock().expect("gandiva state poisoned");
+        let n = input.jobs.len();
+        if n == 0 {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+
+        // Retire pairs whose members have left the cluster.
+        let present: HashSet<JobId> = input.jobs.iter().map(|j| j.id).collect();
+        st.good_pairs
+            .retain(|(a, b)| present.contains(a) && present.contains(b));
+
+        // Gandiva packs to relieve queuing pressure; with enough free
+        // workers for every job, packing only hurts (two jobs sharing a GPU
+        // while others idle), so it time-shares plainly.
+        let demand: usize = input
+            .jobs
+            .iter()
+            .map(|j| j.scale_factor.max(1) as usize)
+            .sum();
+        let contended = demand > input.cluster.total_workers();
+        if !contended {
+            st.good_pairs.clear();
+        }
+
+        // Candidate pair rows available in the tensor.
+        let pair_rows: Vec<usize> = input
+            .combos
+            .combos()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_pair())
+            .map(|(k, _)| k)
+            .collect();
+
+        // Random exploration: sample a few untried pairs whose members are
+        // not already packed.
+        let mut packed: HashSet<JobId> = st.good_pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut active_pairs: Vec<usize> = Vec::new();
+        // Keep rows for known-good pairs.
+        for (k, c) in input.combos.combos().iter().enumerate() {
+            if let Some(b) = c.b {
+                if st.good_pairs.contains(&(c.a, b)) {
+                    active_pairs.push(k);
+                }
+            }
+        }
+        for _ in 0..self.trials_per_round {
+            if pair_rows.is_empty() || !contended {
+                break;
+            }
+            let k = pair_rows[st.rng.gen_range(0..pair_rows.len())];
+            let combo = input.combos.combos()[k];
+            let key = (combo.a, combo.b.expect("pair row"));
+            if st.rejected_pairs.contains(&key)
+                || st.good_pairs.contains(&key)
+                || packed.contains(&key.0)
+                || packed.contains(&key.1)
+            {
+                continue;
+            }
+            // Trial round: the pair runs packed this round regardless; its
+            // fate is decided by the observed score.
+            active_pairs.push(k);
+            packed.insert(key.0);
+            packed.insert(key.1);
+            if Self::pair_score(input, k) >= self.keep_threshold {
+                st.good_pairs.insert(key);
+            } else {
+                st.rejected_pairs.insert(key);
+            }
+        }
+
+        // Scheduling units: active pairs plus unpacked singletons.
+        struct Unit {
+            row: usize,
+            combo: Combo,
+            weight: f64,
+            scale: u32,
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        for &k in &active_pairs {
+            let combo = input.combos.combos()[k];
+            let weight: f64 = combo
+                .jobs()
+                .filter_map(|id| input.job(id).map(|j| j.weight))
+                .sum();
+            units.push(Unit {
+                row: k,
+                combo,
+                weight,
+                scale: 1,
+            });
+        }
+        for job in input.jobs {
+            if packed.contains(&job.id) {
+                continue;
+            }
+            units.push(Unit {
+                row: singleton_row(input, job.id),
+                combo: Combo::single(job.id),
+                weight: job.weight,
+                scale: job.scale_factor.max(1),
+            });
+        }
+
+        // Agnostic time sharing over units, spread across runnable types.
+        let weights: Vec<f64> = units.iter().map(|u| u.weight).collect();
+        let scales: Vec<u32> = units.iter().map(|u| u.scale).collect();
+        let shares = waterfill_shares(&weights, &scales, input.cluster.total_workers() as f64);
+
+        let mut alloc = Allocation::zeros(input.combos.clone(), input.cluster.num_types());
+        for (u, share) in units.iter().zip(&shares) {
+            // Spread across the types where the unit can run, proportional
+            // to worker counts (agnostic to throughput).
+            let runnable: Vec<usize> = (0..input.tensor.num_types())
+                .filter(|&j| input.tensor.entry(u.row, AccelIdx(j)).runnable())
+                .collect();
+            let total: f64 = runnable
+                .iter()
+                .map(|&j| input.cluster.num_workers(AccelIdx(j)) as f64)
+                .sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let _ = u.combo;
+            for &j in &runnable {
+                *alloc.get_mut(u.row, AccelIdx(j)) =
+                    share * input.cluster.num_workers(AccelIdx(j)) as f64 / total;
+            }
+        }
+        Ok(alloc)
+    }
+}

@@ -1,0 +1,444 @@
+//! Hierarchical (multi-level) policies via water filling — §4.3.
+//!
+//! An organization shares the cluster among *entities* (teams) with
+//! weighted fairness; each entity shares its allocation among its jobs with
+//! an inner policy (fairness or FIFO). The water-filling procedure raises
+//! every active job's normalized throughput at a rate proportional to its
+//! weight until jobs saturate ("bottleneck"), reassigns the saturated
+//! jobs' weights according to the inner policy, and repeats:
+//!
+//! 1. Solve `max t` s.t. `norm_tput_m >= floor_m + w_m * t` for active
+//!    jobs and `norm_tput_m >= floor_m` for all jobs.
+//! 2. Raise floors: `floor_m += w_m * t*`.
+//! 3. Identify bottlenecked jobs — either with the Appendix A.1 MILP or
+//!    with exact per-job LP probes (the default; see
+//!    [`BottleneckMethod`]) — zero their weights, and redistribute within
+//!    their entity.
+//! 4. Stop when every job is bottlenecked.
+//!
+//! With a single entity and fairness inside, this is exactly the paper's
+//! water-filled single-level max-min fairness.
+
+use crate::common::{check_input, equal_share_throughput, solver_err, AllocLp};
+use gavel_core::{Allocation, JobId, Policy, PolicyError, PolicyInput};
+use gavel_solver::{solve_milp, Cmp, MilpOptions, Sense, VarId};
+
+/// Inner (per-entity) policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityPolicy {
+    /// Weighted fairness among the entity's jobs.
+    Fairness,
+    /// FIFO: the entity's full weight goes to its earliest unfinished job.
+    Fifo,
+}
+
+/// How bottlenecked jobs are identified each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BottleneckMethod {
+    /// Exact per-job LP probes, accelerated by a max-sum prepass (jobs with
+    /// positive slack in a joint improvement LP are provably not
+    /// bottlenecked, since the feasible region is convex).
+    Probe,
+    /// The Appendix A.1 mixed-integer program (one binary per job). Exact
+    /// but practical only for moderate job counts.
+    Milp,
+}
+
+/// Hierarchical water-filling policy.
+#[derive(Debug, Clone)]
+pub struct Hierarchical {
+    /// Per-entity `(weight, inner policy)` — entity id indexes this list.
+    /// Different entities may use different inner policies (Figure 5 pairs
+    /// a fairness-within product team with a FIFO research team).
+    pub entities: Vec<(f64, EntityPolicy)>,
+    /// Bottleneck identification method.
+    pub bottleneck: BottleneckMethod,
+    /// Safety cap on water-filling iterations.
+    pub max_iterations: usize,
+    /// Inner policy assigned to entities synthesized for jobs that carry
+    /// no entity (single-level mode).
+    default_inner: EntityPolicy,
+}
+
+impl Hierarchical {
+    /// Multi-level policy with the given entity weights and one inner
+    /// policy shared by every entity.
+    pub fn new(entity_weights: Vec<f64>, inner: EntityPolicy) -> Self {
+        Hierarchical {
+            entities: entity_weights.into_iter().map(|w| (w, inner)).collect(),
+            bottleneck: BottleneckMethod::Probe,
+            max_iterations: 64,
+            default_inner: inner,
+        }
+    }
+
+    /// Multi-level policy with per-entity `(weight, inner policy)` pairs.
+    pub fn per_entity(entities: Vec<(f64, EntityPolicy)>) -> Self {
+        Hierarchical {
+            entities,
+            bottleneck: BottleneckMethod::Probe,
+            max_iterations: 64,
+            default_inner: EntityPolicy::Fairness,
+        }
+    }
+
+    /// Single-level max-min fairness with full water filling: every job is
+    /// its own entity weighted by its job weight.
+    pub fn single_level() -> Self {
+        Hierarchical {
+            entities: Vec::new(),
+            bottleneck: BottleneckMethod::Probe,
+            max_iterations: 64,
+            default_inner: EntityPolicy::Fairness,
+        }
+    }
+
+    /// Switches the bottleneck identification method.
+    pub fn with_bottleneck(mut self, method: BottleneckMethod) -> Self {
+        self.bottleneck = method;
+        self
+    }
+}
+
+/// Internal per-solve state.
+struct WaterFill<'i, 'a> {
+    input: &'i PolicyInput<'a>,
+    /// `sf_m / throughput(m, X_equal)` — normalized throughput is
+    /// `factor_m * sum T x`.
+    factors: Vec<f64>,
+    /// Current normalized-throughput floor per job.
+    floors: Vec<f64>,
+    /// Current water-filling weight per job (0 = inactive/bottlenecked).
+    weights: Vec<f64>,
+    /// Whether the job has been declared bottlenecked.
+    done: Vec<bool>,
+    /// Entity id per job (dense, possibly synthesized).
+    entity_of: Vec<usize>,
+    /// Original per-job weights (for fairness redistribution).
+    base_weights: Vec<f64>,
+    /// Inner policy per entity.
+    inner_of: Vec<EntityPolicy>,
+}
+
+impl<'i, 'a> WaterFill<'i, 'a> {
+    /// Builds the iteration LP: max t subject to floors and weighted rises.
+    /// Returns `(t*, allocation)`.
+    fn solve_round(&self) -> Result<(f64, Allocation), PolicyError> {
+        let input = self.input;
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        let t = alp.lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+        for (m, job) in input.jobs.iter().enumerate() {
+            let mut terms: Vec<(VarId, f64)> = alp
+                .throughput_terms(input, job.id)
+                .into_iter()
+                .map(|(v, c)| (v, c * self.factors[m]))
+                .collect();
+            if self.weights[m] > 0.0 {
+                terms.push((t, -self.weights[m]));
+            }
+            // floor (+ w t if active) <= normalized throughput.
+            alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+        Ok((sol.value(t), alp.extract(input, &sol)))
+    }
+
+    /// Exact bottleneck detection by per-job probes with a max-sum prepass.
+    fn bottlenecked_probe(&self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
+        let input = self.input;
+        // Prepass: jointly maximize total slack above the floors. Convexity
+        // guarantees any job improvable at all *can* show positive slack in
+        // some feasible point; the max-sum point may still zero out an
+        // improvable job, so zero-slack jobs get an individual probe.
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        let mut slack_vars = Vec::with_capacity(active.len());
+        for &m in active {
+            let job = &input.jobs[m];
+            let s = alp.lp.add_var(&format!("slack_{m}"), 0.0, 1.0, 1.0);
+            let mut terms: Vec<(VarId, f64)> = alp
+                .throughput_terms(input, job.id)
+                .into_iter()
+                .map(|(v, c)| (v, c * self.factors[m]))
+                .collect();
+            terms.push((s, -1.0));
+            alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
+            slack_vars.push(s);
+        }
+        // Floors for inactive jobs.
+        for (m, job) in input.jobs.iter().enumerate() {
+            if active.contains(&m) {
+                continue;
+            }
+            let terms: Vec<(VarId, f64)> = alp
+                .throughput_terms(input, job.id)
+                .into_iter()
+                .map(|(v, c)| (v, c * self.factors[m]))
+                .collect();
+            alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+
+        let mut bottlenecked = Vec::new();
+        for (i, &m) in active.iter().enumerate() {
+            if sol.value(slack_vars[i]) > 1e-6 {
+                continue; // Provably improvable.
+            }
+            if !self.probe_single(m)? {
+                bottlenecked.push(m);
+            }
+        }
+        Ok(bottlenecked)
+    }
+
+    /// Probes whether job `m` alone can exceed its floor while all other
+    /// jobs keep theirs. Returns true when improvable.
+    fn probe_single(&self, m: usize) -> Result<bool, PolicyError> {
+        let input = self.input;
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        for (m2, job) in input.jobs.iter().enumerate() {
+            let terms: Vec<(VarId, f64)> = alp
+                .throughput_terms(input, job.id)
+                .into_iter()
+                .map(|(v, c)| (v, c * self.factors[m2]))
+                .collect();
+            if m2 == m {
+                for &(v, c) in &terms {
+                    alp.lp.add_objective_coeff(v, c);
+                }
+            }
+            alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m2]);
+        }
+        let sol = alp.lp.solve().map_err(solver_err)?;
+        Ok(sol.objective > self.floors[m] + 1e-5 * (1.0 + self.floors[m].abs()))
+    }
+
+    /// Appendix A.1 MILP: maximize the number of jobs whose normalized
+    /// throughput strictly improves over the floor.
+    fn bottlenecked_milp(&self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
+        let input = self.input;
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        let delta = 1e-4;
+        let mut z_vars = Vec::with_capacity(active.len());
+        for &m in active {
+            let job = &input.jobs[m];
+            let z = alp.lp.add_var(&format!("z_{m}"), 0.0, 1.0, 1.0);
+            // A valid big constant: normalized throughput is bounded by
+            // running the whole cluster's workers at the fastest rate.
+            let y = big_y(self.input, m, self.factors[m]);
+            let terms: Vec<(VarId, f64)> = alp
+                .throughput_terms(input, job.id)
+                .into_iter()
+                .map(|(v, c)| (v, c * self.factors[m]))
+                .collect();
+            // tput >= floor (always).
+            alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
+            // tput <= floor + Y z  (z = 0 forces no improvement).
+            let mut upper = terms.clone();
+            upper.push((z, -y));
+            alp.lp.add_constraint(&upper, Cmp::Le, self.floors[m]);
+            // tput >= floor + delta - Y (1 - z)  (z = 1 forces improvement).
+            let mut lower = terms;
+            lower.push((z, -y));
+            alp.lp
+                .add_constraint(&lower, Cmp::Ge, self.floors[m] + delta - y);
+            z_vars.push(z);
+        }
+        for (m, job) in input.jobs.iter().enumerate() {
+            if active.contains(&m) {
+                continue;
+            }
+            let terms: Vec<(VarId, f64)> = alp
+                .throughput_terms(input, job.id)
+                .into_iter()
+                .map(|(v, c)| (v, c * self.factors[m]))
+                .collect();
+            alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
+        }
+        let sol = solve_milp(&alp.lp, &z_vars, &MilpOptions::default()).map_err(solver_err)?;
+        Ok(active
+            .iter()
+            .zip(&z_vars)
+            .filter(|(_, &z)| sol.value(z) < 0.5)
+            .map(|(&m, _)| m)
+            .collect())
+    }
+
+    /// Redistributes a bottlenecked job's weight within its entity.
+    fn redistribute(&mut self, m: usize) {
+        let w = std::mem::replace(&mut self.weights[m], 0.0);
+        self.done[m] = true;
+        if w <= 0.0 {
+            return;
+        }
+        let entity = self.entity_of[m];
+        let peers: Vec<usize> = (0..self.input.jobs.len())
+            .filter(|&k| self.entity_of[k] == entity && !self.done[k])
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        match self.inner_of[entity] {
+            EntityPolicy::Fairness => {
+                let total: f64 = peers.iter().map(|&k| self.base_weights[k]).sum();
+                if total <= 0.0 {
+                    return;
+                }
+                for &k in &peers {
+                    self.weights[k] += w * self.base_weights[k] / total;
+                }
+            }
+            EntityPolicy::Fifo => {
+                // Weight passes to the earliest remaining job in the queue.
+                let next = peers
+                    .into_iter()
+                    .min_by_key(|&k| self.input.jobs[k].arrival_seq)
+                    .expect("non-empty peers");
+                self.weights[next] += w;
+            }
+        }
+    }
+}
+
+/// Upper bound on job `m`'s normalized throughput (for MILP big-M rows).
+fn big_y(input: &PolicyInput<'_>, m: usize, factor: f64) -> f64 {
+    let job = &input.jobs[m];
+    let row = crate::common::singleton_row(input, job.id);
+    let fastest = gavel_core::refs::x_fastest(input.tensor, row);
+    let workers = input.cluster.total_workers() as f64;
+    (factor * fastest * workers).max(1.0) * 2.0
+}
+
+impl Policy for Hierarchical {
+    fn name(&self) -> &str {
+        let all_fair = self
+            .entities
+            .iter()
+            .all(|(_, p)| *p == EntityPolicy::Fairness);
+        let all_fifo = self.entities.iter().all(|(_, p)| *p == EntityPolicy::Fifo);
+        if self.entities.is_empty() || all_fair {
+            "hierarchical-fairness"
+        } else if all_fifo {
+            "hierarchical-fifo"
+        } else {
+            "hierarchical-mixed"
+        }
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        let n = input.jobs.len();
+        if n == 0 {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+
+        // Resolve entities: jobs without one become singleton entities
+        // weighted by their own job weight (single-level mode).
+        let mut entity_of = Vec::with_capacity(n);
+        let mut entities = self.entities.clone();
+        for job in input.jobs {
+            match job.entity {
+                Some(e) => {
+                    if e >= entities.len() {
+                        return Err(PolicyError::InvalidInput(format!(
+                            "{} references entity {e} but only {} entities given",
+                            job.id,
+                            entities.len()
+                        )));
+                    }
+                    entity_of.push(e);
+                }
+                None => {
+                    entity_of.push(entities.len());
+                    entities.push((job.weight, self.default_inner));
+                }
+            }
+        }
+        let inner_of: Vec<EntityPolicy> = entities.iter().map(|(_, p)| *p).collect();
+
+        // Initial per-job weights according to each entity's inner policy.
+        let base_weights: Vec<f64> = input.jobs.iter().map(|j| j.weight).collect();
+        let mut weights = vec![0.0; n];
+        for (e, &(entity_weight, inner)) in entities.iter().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&m| entity_of[m] == e).collect();
+            if members.is_empty() {
+                continue;
+            }
+            match inner {
+                EntityPolicy::Fairness => {
+                    let total: f64 = members.iter().map(|&m| base_weights[m]).sum();
+                    for &m in &members {
+                        weights[m] = entity_weight * base_weights[m] / total.max(1e-12);
+                    }
+                }
+                EntityPolicy::Fifo => {
+                    let head = members
+                        .into_iter()
+                        .min_by_key(|&m| input.jobs[m].arrival_seq)
+                        .expect("non-empty members");
+                    weights[head] = entity_weight;
+                }
+            }
+        }
+
+        let factors: Vec<f64> = (0..n)
+            .map(|m| {
+                let norm = equal_share_throughput(input, m);
+                input.jobs[m].scale_factor.max(1) as f64 / norm.max(1e-12)
+            })
+            .collect();
+
+        let mut wf = WaterFill {
+            input,
+            factors,
+            floors: vec![0.0; n],
+            weights,
+            done: vec![false; n],
+            entity_of,
+            base_weights,
+            inner_of,
+        };
+
+        let mut best_alloc = None;
+        for _iter in 0..self.max_iterations {
+            let active: Vec<usize> = (0..n).filter(|&m| wf.weights[m] > 0.0).collect();
+            if active.is_empty() {
+                break;
+            }
+            let (t_star, alloc) = wf.solve_round()?;
+            for &m in &active {
+                wf.floors[m] += wf.weights[m] * t_star;
+            }
+            best_alloc = Some(alloc);
+
+            let bottlenecked = match self.bottleneck {
+                BottleneckMethod::Probe => wf.bottlenecked_probe(&active)?,
+                BottleneckMethod::Milp => wf.bottlenecked_milp(&active)?,
+            };
+            if bottlenecked.is_empty() {
+                // Numerical stall: treat the tightest job as bottlenecked to
+                // guarantee progress.
+                let &tightest = active
+                    .iter()
+                    .min_by(|&&a, &&b| wf.floors[a].partial_cmp(&wf.floors[b]).unwrap())
+                    .expect("non-empty active set");
+                wf.redistribute(tightest);
+            } else {
+                for m in bottlenecked {
+                    wf.redistribute(m);
+                }
+            }
+        }
+
+        best_alloc.ok_or_else(|| {
+            PolicyError::NoFeasibleAllocation("water filling produced no allocation".into())
+        })
+    }
+}
+
+/// Identifier re-export used in experiment labels.
+pub fn job_label(id: JobId) -> String {
+    id.to_string()
+}

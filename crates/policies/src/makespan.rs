@@ -1,0 +1,118 @@
+//! Minimum-makespan policy — §4.2 and Appendix A.1.
+//!
+//! Binary-searches for the smallest makespan `M` such that the feasibility
+//! program
+//!
+//! ```text
+//! num_steps_m <= throughput(m, X) * M   for all m
+//! X valid (§3.1)
+//! ```
+//!
+//! admits a solution. Each probe is one LP feasibility solve; the paper
+//! formulates the policy identically ("a sequence of linear programs").
+
+use crate::common::{check_input, singleton_row, AllocLp};
+use gavel_core::{refs, Allocation, Policy, PolicyError, PolicyInput};
+use gavel_solver::{bisect_min, Cmp, Sense, SolverError};
+
+/// Heterogeneity-aware minimum makespan, optionally space-sharing aware.
+#[derive(Debug, Clone)]
+pub struct MinMakespan {
+    /// Whether to use space-sharing pair rows.
+    pub space_sharing: bool,
+    /// Relative tolerance of the binary search.
+    pub tolerance: f64,
+}
+
+impl Default for MinMakespan {
+    fn default() -> Self {
+        MinMakespan {
+            space_sharing: false,
+            tolerance: 1e-3,
+        }
+    }
+}
+
+impl MinMakespan {
+    /// Makespan policy without space sharing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makespan policy with space sharing.
+    pub fn with_space_sharing() -> Self {
+        MinMakespan {
+            space_sharing: true,
+            ..Self::default()
+        }
+    }
+
+    /// Builds and solves the feasibility LP for a fixed makespan; returns
+    /// the allocation when feasible.
+    fn probe(&self, input: &PolicyInput<'_>, makespan: f64) -> Option<Allocation> {
+        let mut alp = AllocLp::new(input, Sense::Maximize);
+        for job in input.jobs {
+            let terms = alp.throughput_terms(input, job.id);
+            // steps <= throughput * M  <=>  sum T x >= steps / M.
+            alp.lp
+                .add_constraint(&terms, Cmp::Ge, job.steps_remaining / makespan);
+        }
+        match alp.lp.solve() {
+            Ok(sol) => Some(alp.extract(input, &sol)),
+            Err(SolverError::Infeasible) => None,
+            Err(_) => None,
+        }
+    }
+}
+
+impl Policy for MinMakespan {
+    fn name(&self) -> &str {
+        if self.space_sharing {
+            "makespan-het-ss"
+        } else {
+            "makespan-het"
+        }
+    }
+
+    fn wants_space_sharing(&self) -> bool {
+        self.space_sharing
+    }
+
+    fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
+        check_input(input)?;
+        if input.jobs.is_empty() {
+            return Ok(Allocation::zeros(
+                input.combos.clone(),
+                input.cluster.num_types(),
+            ));
+        }
+        // Lower bound: the longest job run alone at its fastest rate.
+        // Upper bound: run every job serially at its fastest rate.
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        for job in input.jobs {
+            let row = singleton_row(input, job.id);
+            let fastest = refs::x_fastest(input.tensor, row);
+            if fastest <= 0.0 {
+                return Err(PolicyError::NoFeasibleAllocation(format!(
+                    "{} cannot run anywhere",
+                    job.id
+                )));
+            }
+            let ideal = job.steps_remaining / fastest;
+            lo = lo.max(ideal);
+            hi += ideal;
+        }
+        hi = hi.max(lo) * 1.01 + 1.0;
+
+        let tol = self.tolerance * hi.max(1.0);
+        let best = bisect_min(lo.max(1e-9), hi, tol, 80, |m| {
+            self.probe(input, m).is_some()
+        })
+        .ok_or_else(|| {
+            PolicyError::NoFeasibleAllocation("no makespan satisfies all jobs".into())
+        })?;
+        self.probe(input, best)
+            .ok_or_else(|| PolicyError::Solver(Box::new(SolverError::Infeasible)))
+    }
+}

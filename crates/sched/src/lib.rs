@@ -1,0 +1,24 @@
+//! Gavel's round-based scheduling mechanism — §5 of the paper.
+//!
+//! Policies produce a *target* allocation matrix `X_opt`; this crate
+//! realizes it. Scheduling proceeds in fixed-length rounds. Each round:
+//!
+//! 1. Compute per-(combo, type) priorities `X_opt / f`, where `f` is the
+//!    fraction of wall-clock time the combo has actually received on that
+//!    type so far (Figure 4). Combos that have received nothing but have a
+//!    positive target get infinite priority.
+//! 2. Greedily admit the highest-priority (combo, type) pairs subject to
+//!    worker budgets and the rule that a job appears in at most one running
+//!    combo per round (Algorithm 1).
+//! 3. Place admitted combos onto physical servers, preferring consolidated
+//!    placements for distributed jobs (§5's fragmentation-minimizing
+//!    placement pass).
+//!
+//! The mechanism is policy-agnostic: the same code realizes fairness,
+//! makespan, FIFO, or cost allocations.
+
+pub mod mechanism;
+pub mod placement;
+
+pub use mechanism::{Assignment, RoundPlan, RoundScheduler};
+pub use placement::{PlacementState, WorkerSlot};

@@ -1,0 +1,422 @@
+//! The round-based mechanism: priorities and the Algorithm 1 greedy.
+
+use crate::placement::{PlacementState, WorkerSlot};
+use gavel_core::{AccelIdx, Allocation, ClusterSpec, Combo, JobId};
+use std::collections::{HashMap, HashSet};
+
+/// A combo scheduled onto concrete workers for one round.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The scheduled combo.
+    pub combo: Combo,
+    /// Allocation-matrix row of the combo (into the allocation passed to
+    /// [`RoundScheduler::plan_round`]).
+    pub row: usize,
+    /// Accelerator type it runs on this round.
+    pub accel: AccelIdx,
+    /// Concrete worker slots.
+    pub workers: Vec<WorkerSlot>,
+    /// Whether all workers share one server.
+    pub consolidated: bool,
+}
+
+/// The work selected for one round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// Scheduled combos with placements.
+    pub assignments: Vec<Assignment>,
+}
+
+impl RoundPlan {
+    /// Jobs that run this round.
+    pub fn running_jobs(&self) -> HashSet<JobId> {
+        self.assignments
+            .iter()
+            .flat_map(|a| a.combo.jobs())
+            .collect()
+    }
+
+    /// The assignment containing `job`, if scheduled.
+    pub fn assignment_of(&self, job: JobId) -> Option<&Assignment> {
+        self.assignments.iter().find(|a| a.combo.contains(job))
+    }
+}
+
+/// Realizes target allocations round by round (§5).
+///
+/// The scheduler tracks cumulative time each combo has spent per
+/// accelerator type; priorities `X / f` steer under-served combos onto
+/// workers first, so realized time fractions converge to the target
+/// allocation (§7.5 evaluates this fidelity).
+#[derive(Debug, Clone)]
+pub struct RoundScheduler {
+    cluster: ClusterSpec,
+    /// Cumulative seconds each combo has received per type.
+    time_received: HashMap<Combo, Vec<f64>>,
+}
+
+impl RoundScheduler {
+    /// Creates a scheduler for `cluster`.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        RoundScheduler {
+            cluster,
+            time_received: HashMap::new(),
+        }
+    }
+
+    /// Cumulative time combo `c` has received on type `j`.
+    pub fn time_received(&self, c: &Combo, j: AccelIdx) -> f64 {
+        self.time_received.get(c).map_or(0.0, |v| v[j.0])
+    }
+
+    /// Total time received by `job` across all combos and types.
+    pub fn job_time_received(&self, job: JobId) -> f64 {
+        self.time_received
+            .iter()
+            .filter(|(c, _)| c.contains(job))
+            .map(|(_, v)| v.iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Drops a completed job's accounting (its combos can never run again).
+    pub fn forget_job(&mut self, job: JobId) {
+        self.time_received.retain(|c, _| !c.contains(job));
+    }
+
+    /// Clears all accounting (used at allocation-recomputation resets when
+    /// strict §3.2 semantics are wanted; the simulator keeps cumulative
+    /// history by default, which converges identically).
+    pub fn reset(&mut self) {
+        self.time_received.clear();
+    }
+
+    /// Plans one round for the target allocation.
+    ///
+    /// `scale_factor` maps jobs to their worker counts. Returns the
+    /// assignments; call [`RoundScheduler::record`] once the round has
+    /// actually run.
+    pub fn plan_round(&self, alloc: &Allocation, scale_factor: &HashMap<JobId, u32>) -> RoundPlan {
+        self.plan_round_with_capacity(alloc, scale_factor, None)
+    }
+
+    /// Like [`RoundScheduler::plan_round`] but with reduced per-type worker
+    /// availability (failed workers removed) when `available` is given.
+    pub fn plan_round_with_capacity(
+        &self,
+        alloc: &Allocation,
+        scale_factor: &HashMap<JobId, u32>,
+        available: Option<&[usize]>,
+    ) -> RoundPlan {
+        let num_types = self.cluster.num_types();
+        let combos = alloc.combos().combos();
+
+        // Candidate (row, type) pairs with positive target allocation.
+        // Priorities follow Figure 4: the target allocation divided by the
+        // raw time already received on that type (element-wise `X / f`),
+        // with infinite priority for combos that have a positive target but
+        // have received nothing there yet.
+        struct Candidate {
+            row: usize,
+            accel: usize,
+            priority: f64,
+            target: f64,
+        }
+        let mut candidates = Vec::new();
+        for (k, combo) in combos.iter().enumerate() {
+            for j in 0..num_types {
+                let target = alloc.get(k, AccelIdx(j));
+                if target <= 1e-4 {
+                    continue;
+                }
+                let received = self.time_received(combo, AccelIdx(j));
+                let priority = if received > 0.0 {
+                    target / received
+                } else {
+                    f64::INFINITY
+                };
+                candidates.push(Candidate {
+                    row: k,
+                    accel: j,
+                    priority,
+                    target,
+                });
+            }
+        }
+        // Highest priority first; infinite priorities ranked by target,
+        // then deterministic row/type order.
+        candidates.sort_by(|a, b| {
+            b.priority
+                .partial_cmp(&a.priority)
+                .unwrap()
+                .then(b.target.partial_cmp(&a.target).unwrap())
+                .then(a.row.cmp(&b.row))
+                .then(a.accel.cmp(&b.accel))
+        });
+
+        // Algorithm 1: greedy admission with conflict removal.
+        let mut placement = match available {
+            Some(av) => PlacementState::with_available(&self.cluster, av),
+            None => PlacementState::new(&self.cluster),
+        };
+        let mut busy_jobs: HashSet<JobId> = HashSet::new();
+        let mut plan = RoundPlan::default();
+        for c in candidates {
+            let combo = combos[c.row];
+            if combo.jobs().any(|job| busy_jobs.contains(&job)) {
+                continue;
+            }
+            let sf = combo
+                .jobs()
+                .map(|job| *scale_factor.get(&job).unwrap_or(&1))
+                .max()
+                .unwrap_or(1) as usize;
+            let Some((workers, consolidated)) = placement.allocate(AccelIdx(c.accel), sf) else {
+                continue;
+            };
+            for job in combo.jobs() {
+                busy_jobs.insert(job);
+            }
+            plan.assignments.push(Assignment {
+                combo,
+                row: c.row,
+                accel: AccelIdx(c.accel),
+                workers,
+                consolidated,
+            });
+        }
+        plan
+    }
+
+    /// Records that `plan` ran for `duration` seconds.
+    pub fn record(&mut self, plan: &RoundPlan, duration: f64) {
+        let num_types = self.cluster.num_types();
+        for a in &plan.assignments {
+            let entry = self
+                .time_received
+                .entry(a.combo)
+                .or_insert_with(|| vec![0.0; num_types]);
+            entry[a.accel.0] += duration;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gavel_core::{ComboSet, PairThroughput, ThroughputTensor};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(&[("v100", 1, 1, 0.0), ("p100", 1, 1, 0.0), ("k80", 1, 1, 0.0)])
+    }
+
+    fn sf1(jobs: &[JobId]) -> HashMap<JobId, u32> {
+        jobs.iter().map(|&j| (j, 1)).collect()
+    }
+
+    /// The paper's X_example from §3.1.
+    fn example_allocation() -> Allocation {
+        let jobs = [JobId(0), JobId(1), JobId(2)];
+        let combos = ComboSet::singletons(&jobs);
+        Allocation::new(
+            combos,
+            vec![
+                vec![0.6, 0.4, 0.0],
+                vec![0.2, 0.6, 0.2],
+                vec![0.2, 0.0, 0.8],
+            ],
+        )
+    }
+
+    #[test]
+    fn fractions_converge_to_target() {
+        // §7.5 fidelity: after many rounds the realized fractions should be
+        // within a few percent of X_example.
+        let jobs = [JobId(0), JobId(1), JobId(2)];
+        let alloc = example_allocation();
+        let mut sched = RoundScheduler::new(cluster());
+        let sf = sf1(&jobs);
+        let rounds = 200;
+        for _ in 0..rounds {
+            let plan = sched.plan_round(&alloc, &sf);
+            sched.record(&plan, 360.0);
+        }
+        let total_per_type = rounds as f64 * 360.0;
+        for (k, combo) in alloc.combos().combos().iter().enumerate() {
+            for j in 0..3 {
+                let target = alloc.get(k, AccelIdx(j));
+                let got = sched.time_received(combo, AccelIdx(j)) / total_per_type;
+                assert!(
+                    (got - target).abs() < 0.05,
+                    "combo {combo} type {j}: {got} vs target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_job_on_two_workers_in_one_round() {
+        // Allocation with both a singleton and a pair containing job 0.
+        let combos = ComboSet::new(vec![
+            Combo::single(JobId(0)),
+            Combo::single(JobId(1)),
+            Combo::pair(JobId(0), JobId(1)),
+        ]);
+        let alloc = Allocation::new(
+            combos,
+            vec![
+                vec![0.5, 0.0, 0.0],
+                vec![0.5, 0.0, 0.0],
+                vec![0.5, 0.5, 0.0],
+            ],
+        );
+        let sched = RoundScheduler::new(cluster());
+        let sf = sf1(&[JobId(0), JobId(1)]);
+        for _ in 0..20 {
+            let plan = sched.plan_round(&alloc, &sf);
+            let mut seen = HashSet::new();
+            for a in &plan.assignments {
+                for j in a.combo.jobs() {
+                    assert!(seen.insert(j), "{j} scheduled twice in a round");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_respected_with_scale_factors() {
+        let c = ClusterSpec::new(&[("v100", 4, 4, 0.0)]);
+        let jobs = [JobId(0), JobId(1)];
+        let combos = ComboSet::singletons(&jobs);
+        let alloc = Allocation::new(combos, vec![vec![1.0], vec![1.0]]);
+        let mut sf = HashMap::new();
+        sf.insert(JobId(0), 4);
+        sf.insert(JobId(1), 4);
+        let sched = RoundScheduler::new(c);
+        let plan = sched.plan_round(&alloc, &sf);
+        // Only one 4-worker job fits on 4 workers.
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].workers.len(), 4);
+    }
+
+    #[test]
+    fn starved_jobs_gain_priority() {
+        // Two jobs, one worker, targets 0.5/0.5: they must alternate.
+        let c = ClusterSpec::new(&[("v100", 1, 1, 0.0)]);
+        let jobs = [JobId(0), JobId(1)];
+        let combos = ComboSet::singletons(&jobs);
+        let alloc = Allocation::new(combos, vec![vec![0.5], vec![0.5]]);
+        let sf = sf1(&jobs);
+        let mut sched = RoundScheduler::new(c);
+        let mut ran = [0usize; 2];
+        for _ in 0..10 {
+            let plan = sched.plan_round(&alloc, &sf);
+            assert_eq!(plan.assignments.len(), 1);
+            let job = plan.assignments[0].combo.a;
+            ran[job.0 as usize] += 1;
+            sched.record(&plan, 360.0);
+        }
+        assert_eq!(ran[0], 5, "alternation expected: {ran:?}");
+        assert_eq!(ran[1], 5);
+    }
+
+    #[test]
+    fn forget_job_clears_state() {
+        let alloc = example_allocation();
+        let mut sched = RoundScheduler::new(cluster());
+        let sf = sf1(&[JobId(0), JobId(1), JobId(2)]);
+        let plan = sched.plan_round(&alloc, &sf);
+        sched.record(&plan, 360.0);
+        assert!(sched.job_time_received(JobId(0)) > 0.0);
+        sched.forget_job(JobId(0));
+        assert_eq!(sched.job_time_received(JobId(0)), 0.0);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let alloc = example_allocation();
+        let sched = RoundScheduler::new(cluster());
+        let sf = sf1(&[JobId(0), JobId(1), JobId(2)]);
+        let p1 = sched.plan_round(&alloc, &sf);
+        let p2 = sched.plan_round(&alloc, &sf);
+        assert_eq!(p1.assignments.len(), p2.assignments.len());
+        for (a, b) in p1.assignments.iter().zip(&p2.assignments) {
+            assert_eq!(a.combo, b.combo);
+            assert_eq!(a.accel, b.accel);
+        }
+    }
+
+    #[test]
+    fn zero_allocation_schedules_nothing() {
+        let jobs = [JobId(0)];
+        let combos = ComboSet::singletons(&jobs);
+        let alloc = Allocation::new(combos, vec![vec![0.0, 0.0, 0.0]]);
+        let sched = RoundScheduler::new(cluster());
+        let plan = sched.plan_round(&alloc, &sf1(&jobs));
+        assert!(plan.assignments.is_empty());
+    }
+
+    #[test]
+    fn pair_combo_occupies_one_worker() {
+        let c = ClusterSpec::new(&[("v100", 1, 1, 0.0)]);
+        let combos = ComboSet::new(vec![Combo::pair(JobId(0), JobId(1))]);
+        let alloc = Allocation::new(combos, vec![vec![1.0]]);
+        let mut sf = HashMap::new();
+        sf.insert(JobId(0), 1);
+        sf.insert(JobId(1), 1);
+        let sched = RoundScheduler::new(c);
+        let plan = sched.plan_round(&alloc, &sf);
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].workers.len(), 1);
+        assert_eq!(plan.running_jobs().len(), 2);
+    }
+
+    /// Effective-throughput sanity: realized throughput over many rounds
+    /// approaches the allocation's effective throughput.
+    #[test]
+    fn realized_throughput_matches_effective() {
+        let jobs = [JobId(0), JobId(1), JobId(2)];
+        let alloc = example_allocation();
+        let tensor = ThroughputTensor::new(
+            3,
+            vec![
+                vec![
+                    PairThroughput::single(4.0),
+                    PairThroughput::single(2.0),
+                    PairThroughput::single(1.0),
+                ],
+                vec![
+                    PairThroughput::single(3.0),
+                    PairThroughput::single(2.0),
+                    PairThroughput::single(1.0),
+                ],
+                vec![
+                    PairThroughput::single(2.0),
+                    PairThroughput::single(1.5),
+                    PairThroughput::single(1.0),
+                ],
+            ],
+        );
+        let mut sched = RoundScheduler::new(cluster());
+        let sf = sf1(&jobs);
+        let round_s = 360.0;
+        let rounds = 300;
+        let mut steps = vec![0.0f64; 3];
+        for _ in 0..rounds {
+            let plan = sched.plan_round(&alloc, &sf);
+            for a in &plan.assignments {
+                let t = tensor.entry(a.row, a.accel);
+                steps[a.combo.a.0 as usize] += t.a * round_s;
+            }
+            sched.record(&plan, round_s);
+        }
+        let wall = rounds as f64 * round_s;
+        for (m, &job) in jobs.iter().enumerate() {
+            let realized = steps[m] / wall;
+            let target = alloc.effective_throughput(&tensor, job);
+            assert!(
+                (realized - target).abs() / target < 0.06,
+                "{job}: realized {realized} vs effective {target}"
+            );
+        }
+    }
+}

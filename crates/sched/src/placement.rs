@@ -1,0 +1,202 @@
+//! Server-level placement of scheduled combos.
+//!
+//! Distributed jobs scale markedly better when their workers share a
+//! physical server (§2.2 placement sensitivity), so the placement pass
+//! assigns combos to concrete worker slots, largest jobs first, using
+//! best-fit onto single servers and falling back to a spread placement.
+
+use gavel_core::{AccelIdx, ClusterSpec};
+
+/// A concrete accelerator slot: (type, server, index-within-server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkerSlot {
+    /// Accelerator type.
+    pub accel: AccelIdx,
+    /// Server index within the type.
+    pub server: usize,
+    /// Slot index within the server.
+    pub slot: usize,
+}
+
+/// Free-slot tracking for one scheduling round.
+#[derive(Debug, Clone)]
+pub struct PlacementState {
+    /// `free[j][s]` = free slots on server `s` of type `j`.
+    free: Vec<Vec<usize>>,
+}
+
+impl PlacementState {
+    /// Builds the all-free state for a cluster.
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        let mut free = Vec::with_capacity(cluster.num_types());
+        for j in cluster.types() {
+            let per = cluster.workers_per_server(j);
+            let total = cluster.num_workers(j);
+            let full_servers = total / per;
+            let mut servers = vec![per; full_servers];
+            let rem = total - full_servers * per;
+            if rem > 0 {
+                servers.push(rem);
+            }
+            free.push(servers);
+        }
+        PlacementState { free }
+    }
+
+    /// Builds the state with reduced per-type availability (failed workers
+    /// removed). Downed slots are taken from the emptiest servers first so
+    /// the healthy servers keep their consolidation potential.
+    pub fn with_available(cluster: &ClusterSpec, available: &[usize]) -> Self {
+        let mut st = PlacementState::new(cluster);
+        for (j, servers) in st.free.iter_mut().enumerate() {
+            let total: usize = servers.iter().sum();
+            let target = available.get(j).copied().unwrap_or(total).min(total);
+            let mut to_remove = total - target;
+            while to_remove > 0 {
+                // Remove from the smallest non-empty server.
+                let s = (0..servers.len())
+                    .filter(|&s| servers[s] > 0)
+                    .min_by_key(|&s| servers[s])
+                    .expect("removal count bounded by total");
+                let take = servers[s].min(to_remove);
+                servers[s] -= take;
+                to_remove -= take;
+            }
+        }
+        st
+    }
+
+    /// Total free slots of type `j`.
+    pub fn free_of_type(&self, j: AccelIdx) -> usize {
+        self.free[j.0].iter().sum()
+    }
+
+    /// Attempts to allocate `count` slots of type `j`.
+    ///
+    /// Returns the allocated slots and whether the placement is
+    /// *consolidated* (all on one server). Uses best-fit (the fullest
+    /// server that still fits) to minimize fragmentation; spreads across
+    /// servers only when no single server fits. Returns `None` when fewer
+    /// than `count` slots remain in total.
+    pub fn allocate(&mut self, j: AccelIdx, count: usize) -> Option<(Vec<WorkerSlot>, bool)> {
+        if count == 0 || self.free_of_type(j) < count {
+            return None;
+        }
+        let servers = &mut self.free[j.0];
+        // Best fit: the server with the smallest sufficient free count.
+        let fit = servers
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f >= count)
+            .min_by_key(|(_, &f)| f)
+            .map(|(s, _)| s);
+        let mut out = Vec::with_capacity(count);
+        match fit {
+            Some(s) => {
+                for i in 0..count {
+                    out.push(WorkerSlot {
+                        accel: j,
+                        server: s,
+                        slot: servers[s] - 1 - i,
+                    });
+                }
+                servers[s] -= count;
+                Some((out, true))
+            }
+            None => {
+                // Spread across servers, fullest first to pack tightly.
+                let mut order: Vec<usize> = (0..servers.len()).collect();
+                order.sort_by_key(|&s| std::cmp::Reverse(servers[s]));
+                let mut need = count;
+                for s in order {
+                    while servers[s] > 0 && need > 0 {
+                        out.push(WorkerSlot {
+                            accel: j,
+                            server: s,
+                            slot: servers[s] - 1,
+                        });
+                        servers[s] -= 1;
+                        need -= 1;
+                    }
+                    if need == 0 {
+                        break;
+                    }
+                }
+                debug_assert_eq!(need, 0);
+                Some((out, count == 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        // 8 V100 on one 8-slot server; 8 P100 across two 4-slot servers.
+        ClusterSpec::new(&[("v100", 8, 8, 0.0), ("p100", 8, 4, 0.0)])
+    }
+
+    #[test]
+    fn consolidated_when_server_fits() {
+        let mut st = PlacementState::new(&cluster());
+        let (slots, consolidated) = st.allocate(AccelIdx(0), 8).unwrap();
+        assert_eq!(slots.len(), 8);
+        assert!(consolidated);
+        assert!(slots.iter().all(|s| s.server == 0));
+    }
+
+    #[test]
+    fn spread_when_no_server_fits() {
+        let mut st = PlacementState::new(&cluster());
+        let (slots, consolidated) = st.allocate(AccelIdx(1), 8).unwrap();
+        assert_eq!(slots.len(), 8);
+        assert!(
+            !consolidated,
+            "8 slots across 4-slot servers cannot consolidate"
+        );
+        let servers: std::collections::HashSet<usize> = slots.iter().map(|s| s.server).collect();
+        assert_eq!(servers.len(), 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_fuller_server() {
+        let mut st = PlacementState::new(&cluster());
+        // Occupy 3 of server 0's P100 slots, leaving 1 free there.
+        st.allocate(AccelIdx(1), 3).unwrap();
+        // A 1-slot request should take the 1-slot hole, not break the
+        // empty server.
+        let (slots, _) = st.allocate(AccelIdx(1), 1).unwrap();
+        assert_eq!(slots[0].server, 0);
+        // A 4-slot request still fits consolidated on server 1.
+        let (slots, consolidated) = st.allocate(AccelIdx(1), 4).unwrap();
+        assert!(consolidated);
+        assert!(slots.iter().all(|s| s.server == 1));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut st = PlacementState::new(&cluster());
+        assert!(st.allocate(AccelIdx(0), 9).is_none());
+        st.allocate(AccelIdx(0), 8).unwrap();
+        assert!(st.allocate(AccelIdx(0), 1).is_none());
+    }
+
+    #[test]
+    fn partial_last_server() {
+        let c = ClusterSpec::new(&[("x", 10, 4, 0.0)]);
+        let st = PlacementState::new(&c);
+        assert_eq!(st.free_of_type(AccelIdx(0)), 10);
+        assert_eq!(st.free[0], vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn single_worker_always_consolidated() {
+        let mut st = PlacementState::new(&cluster());
+        st.allocate(AccelIdx(1), 3).unwrap();
+        st.allocate(AccelIdx(1), 4).unwrap();
+        let (_, consolidated) = st.allocate(AccelIdx(1), 1).unwrap();
+        assert!(consolidated);
+    }
+}

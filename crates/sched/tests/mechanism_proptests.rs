@@ -1,0 +1,144 @@
+//! Property tests for the round-based mechanism: for *any* valid
+//! allocation, the mechanism must respect capacity and conflicts every
+//! round, and realized time fractions must converge to the target.
+
+use gavel_core::{AccelIdx, Allocation, ClusterSpec, Combo, ComboSet, JobId};
+use gavel_sched::RoundScheduler;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Builds a random valid allocation over `n` single-worker jobs and a
+/// 3-type cluster, normalizing rows and columns into the §3.1 constraints.
+fn random_allocation(
+    n: usize,
+    raw: &[f64],
+    cluster: &ClusterSpec,
+) -> (Allocation, HashMap<JobId, u32>) {
+    let jobs: Vec<JobId> = (0..n as u64).map(JobId).collect();
+    let combos = ComboSet::singletons(&jobs);
+    let mut values = Vec::with_capacity(n);
+    for m in 0..n {
+        let mut row: Vec<f64> = (0..3).map(|j| raw[(m * 3 + j) % raw.len()].abs()).collect();
+        let total: f64 = row.iter().sum();
+        if total > 1.0 {
+            for v in &mut row {
+                *v /= total;
+            }
+        }
+        values.push(row);
+    }
+    // Enforce per-type capacity by scaling columns down if needed.
+    for j in 0..3 {
+        let used: f64 = values.iter().map(|r| r[j]).sum();
+        let cap = cluster.num_workers(AccelIdx(j)) as f64;
+        if used > cap {
+            for r in &mut values {
+                r[j] *= cap / used;
+            }
+        }
+    }
+    let sf = jobs.iter().map(|&j| (j, 1)).collect();
+    (Allocation::new(combos, values), sf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-round invariants: no job twice, no type over capacity.
+    #[test]
+    fn rounds_respect_capacity_and_conflicts(
+        n in 2usize..12,
+        raw in proptest::collection::vec(0.0f64..0.6, 36),
+    ) {
+        let cluster = ClusterSpec::new(&[
+            ("v100", 2, 2, 0.0),
+            ("p100", 2, 2, 0.0),
+            ("k80", 2, 2, 0.0),
+        ]);
+        let (alloc, sf) = random_allocation(n, &raw, &cluster);
+        let mut sched = RoundScheduler::new(cluster.clone());
+        for _ in 0..30 {
+            let plan = sched.plan_round(&alloc, &sf);
+            let mut seen: HashSet<JobId> = HashSet::new();
+            let mut used = vec![0usize; 3];
+            for a in &plan.assignments {
+                for job in a.combo.jobs() {
+                    prop_assert!(seen.insert(job), "{job} scheduled twice");
+                }
+                used[a.accel.0] += a.workers.len();
+            }
+            for j in 0..3 {
+                prop_assert!(
+                    used[j] <= cluster.num_workers(AccelIdx(j)),
+                    "type {j} over capacity: {}",
+                    used[j]
+                );
+            }
+            sched.record(&plan, 360.0);
+        }
+    }
+
+    /// The §3.2 guarantee: the mechanism is work-conserving, so jobs may
+    /// receive *more* than their target when workers would otherwise idle
+    /// — but every combo must receive *at least* its target fraction on
+    /// every type (priorities `X / received` climb without bound while a
+    /// combo is under-served there).
+    #[test]
+    fn combos_receive_at_least_their_targets(
+        n in 2usize..8,
+        raw in proptest::collection::vec(0.05f64..0.5, 24),
+    ) {
+        let cluster = ClusterSpec::new(&[
+            ("v100", 2, 2, 0.0),
+            ("p100", 2, 2, 0.0),
+            ("k80", 2, 2, 0.0),
+        ]);
+        let (alloc, sf) = random_allocation(n, &raw, &cluster);
+        let mut sched = RoundScheduler::new(cluster);
+        let rounds = 400;
+        for _ in 0..rounds {
+            let plan = sched.plan_round(&alloc, &sf);
+            sched.record(&plan, 1.0);
+        }
+        for (k, combo) in alloc.combos().combos().iter().enumerate() {
+            for j in 0..3 {
+                let target = alloc.get(k, AccelIdx(j));
+                if target < 0.02 {
+                    continue;
+                }
+                let got = sched.time_received(combo, AccelIdx(j)) / rounds as f64;
+                prop_assert!(
+                    got >= target - 0.10,
+                    "{combo} type {j}: received {got} below target {target}"
+                );
+            }
+        }
+    }
+
+    /// Pairs and singletons of the same job never co-run.
+    #[test]
+    fn pair_conflicts_respected(share_a in 0.1f64..0.5, share_b in 0.1f64..0.5) {
+        let cluster = ClusterSpec::new(&[("v100", 2, 2, 0.0)]);
+        let combos = ComboSet::new(vec![
+            Combo::single(JobId(0)),
+            Combo::single(JobId(1)),
+            Combo::pair(JobId(0), JobId(1)),
+        ]);
+        let alloc = Allocation::new(
+            combos,
+            vec![vec![share_a], vec![share_b], vec![1.0 - share_a.max(share_b)]],
+        );
+        let sf: HashMap<JobId, u32> = [(JobId(0), 1), (JobId(1), 1)].into();
+        let mut sched = RoundScheduler::new(cluster);
+        for _ in 0..50 {
+            let plan = sched.plan_round(&alloc, &sf);
+            let mut seen = HashSet::new();
+            for a in &plan.assignments {
+                for j in a.combo.jobs() {
+                    prop_assert!(seen.insert(j));
+                }
+            }
+            sched.record(&plan, 1.0);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Bridges the throughput estimator into the simulator (Figure 14).
+//!
+//! The reference set is the 26 Table 2 configurations, "pre-profiled"
+//! pairwise on a V100 through the oracle. Each arriving job is profiled
+//! against a few random references (with measurement noise), fingerprinted
+//! by matrix completion, and matched to its closest reference; pair
+//! throughputs are then *estimated* as `isolated * estimated_normalized`
+//! instead of taken from the oracle. Online refinement feeds back true
+//! measurements whenever a pair actually runs.
+
+use gavel_core::JobId;
+use gavel_estimator::{EstimatorConfig, ThroughputEstimator};
+use gavel_workloads::{GpuKind, JobConfig, Oracle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Estimator wiring for the simulator.
+#[derive(Debug, Clone)]
+pub struct EstimatorBridge {
+    estimator: ThroughputEstimator,
+    references: Vec<JobConfig>,
+    config_class: HashMap<JobConfig, usize>,
+    job_config: HashMap<JobId, JobConfig>,
+    rng: StdRng,
+    profile_noise: f64,
+    profile_samples: usize,
+}
+
+impl EstimatorBridge {
+    /// Builds the reference matrix from the oracle and creates the bridge.
+    pub fn new(oracle: &Oracle, config: EstimatorConfig, seed: u64) -> Self {
+        let references = JobConfig::all();
+        let r = references.len();
+        let mut matrix = vec![vec![0.0; r]; r];
+        for (i, &a) in references.iter().enumerate() {
+            for (j, &b) in references.iter().enumerate() {
+                matrix[i][j] = normalized_colocated(oracle, a, b);
+            }
+        }
+        let config_class = references
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let profile_samples = config.profile_samples;
+        EstimatorBridge {
+            estimator: ThroughputEstimator::new(matrix, config),
+            references,
+            config_class,
+            job_config: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            profile_noise: 0.03,
+            profile_samples,
+        }
+    }
+
+    /// Profiles and registers an arriving job.
+    pub fn register(&mut self, oracle: &Oracle, id: JobId, cfg: JobConfig) {
+        let r = self.references.len();
+        let mut profiled = vec![None; r];
+        for _ in 0..self.profile_samples {
+            let j = self.rng.gen_range(0..r);
+            let truth = normalized_colocated(oracle, cfg, self.references[j]);
+            let noise = 1.0 + self.profile_noise * (self.rng.gen::<f64>() * 2.0 - 1.0);
+            profiled[j] = Some(truth * noise);
+        }
+        self.estimator.register_job(id.0, &profiled);
+        self.job_config.insert(id, cfg);
+    }
+
+    /// Drops a completed job.
+    pub fn forget(&mut self, id: JobId) {
+        self.estimator.forget(id.0);
+        self.job_config.remove(&id);
+    }
+
+    /// Estimated colocated throughputs of jobs `a` and `b` on `gpu`, or
+    /// `None` when the pair does not fit in device memory (memory
+    /// footprints are known a priori, so feasibility is not estimated).
+    pub fn pair_throughput(
+        &self,
+        oracle: &Oracle,
+        a: (JobId, JobConfig),
+        b: (JobId, JobConfig),
+        gpu: GpuKind,
+    ) -> Option<(f64, f64)> {
+        if oracle.memory_gb(a.1) + oracle.memory_gb(b.1) > gpu.memory_gb() {
+            return None;
+        }
+        let class_a = self.class_of(a.0, a.1);
+        let class_b = self.class_of(b.0, b.1);
+        let norm_a = self
+            .estimator
+            .estimate(a.0 .0)
+            .map(|row| row[class_b])
+            .unwrap_or(0.8);
+        let norm_b = self
+            .estimator
+            .estimate(b.0 .0)
+            .map(|row| row[class_a])
+            .unwrap_or(0.8);
+        let iso_a = oracle.isolated(a.1, gpu);
+        let iso_b = oracle.isolated(b.1, gpu);
+        if iso_a <= 0.0 || iso_b <= 0.0 {
+            return None;
+        }
+        Some((
+            iso_a * norm_a.clamp(0.0, 1.0),
+            iso_b * norm_b.clamp(0.0, 1.0),
+        ))
+    }
+
+    /// Feeds back a true measurement after a pair actually ran.
+    pub fn observe(
+        &mut self,
+        oracle: &Oracle,
+        a: (JobId, JobConfig),
+        b: (JobId, JobConfig),
+        gpu: GpuKind,
+    ) {
+        if let Some((ta, tb)) = oracle.colocated(a.1, b.1, gpu) {
+            let iso_a = oracle.isolated(a.1, gpu);
+            let iso_b = oracle.isolated(b.1, gpu);
+            let class_a = self.class_of(a.0, a.1);
+            let class_b = self.class_of(b.0, b.1);
+            if iso_a > 0.0 {
+                self.estimator.refine(a.0 .0, class_b, ta / iso_a);
+            }
+            if iso_b > 0.0 {
+                self.estimator.refine(b.0 .0, class_a, tb / iso_b);
+            }
+        }
+    }
+
+    /// The reference class a job maps to: its matched fingerprint if
+    /// registered, else its exact configuration's class.
+    fn class_of(&self, id: JobId, cfg: JobConfig) -> usize {
+        self.estimator
+            .matched_reference(id.0)
+            .or_else(|| self.config_class.get(&cfg).copied())
+            .unwrap_or(0)
+    }
+}
+
+/// Normalized colocated throughput of `a` against `b` on the profiling GPU
+/// (V100): colocated rate over isolated rate, or 0 when infeasible.
+fn normalized_colocated(oracle: &Oracle, a: JobConfig, b: JobConfig) -> f64 {
+    let gpu = GpuKind::V100;
+    let iso = oracle.isolated(a, gpu);
+    if iso <= 0.0 {
+        return 0.0;
+    }
+    match oracle.colocated(a, b, gpu) {
+        Some((ta, _)) => ta / iso,
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gavel_workloads::ModelFamily;
+
+    #[test]
+    fn estimates_close_to_oracle_for_profiled_pairs() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 1);
+        let a = (JobId(100), JobConfig::new(ModelFamily::A3C, 4));
+        let b = (JobId(101), JobConfig::new(ModelFamily::ResNet18, 16));
+        bridge.register(&oracle, a.0, a.1);
+        bridge.register(&oracle, b.0, b.1);
+        let est = bridge
+            .pair_throughput(&oracle, a, b, GpuKind::V100)
+            .expect("feasible pair");
+        let truth = oracle.colocated(a.1, b.1, GpuKind::V100).unwrap();
+        // Within 30% is plenty for scheduling purposes (Fig 14 shows small
+        // JCT impact even with coarse estimates).
+        assert!(
+            (est.0 - truth.0).abs() / truth.0 < 0.3,
+            "est {est:?} vs truth {truth:?}"
+        );
+        assert!((est.1 - truth.1).abs() / truth.1 < 0.3);
+    }
+
+    #[test]
+    fn infeasible_pairs_stay_infeasible() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 1);
+        let big = (JobId(1), JobConfig::new(ModelFamily::Recoder, 8192));
+        let r50 = (JobId(2), JobConfig::new(ModelFamily::ResNet50, 64));
+        bridge.register(&oracle, big.0, big.1);
+        bridge.register(&oracle, r50.0, r50.1);
+        assert!(bridge
+            .pair_throughput(&oracle, big, r50, GpuKind::P100)
+            .is_none());
+    }
+
+    #[test]
+    fn refinement_converges_to_truth() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 2);
+        let a = (JobId(5), JobConfig::new(ModelFamily::CycleGan, 1));
+        let b = (JobId(6), JobConfig::new(ModelFamily::Lstm, 20));
+        bridge.register(&oracle, a.0, a.1);
+        bridge.register(&oracle, b.0, b.1);
+        for _ in 0..20 {
+            bridge.observe(&oracle, a, b, GpuKind::V100);
+        }
+        let est = bridge
+            .pair_throughput(&oracle, a, b, GpuKind::V100)
+            .unwrap();
+        let truth = oracle.colocated(a.1, b.1, GpuKind::V100).unwrap();
+        assert!(
+            (est.0 - truth.0).abs() / truth.0 < 0.05,
+            "refined est {est:?} vs truth {truth:?}"
+        );
+    }
+
+    #[test]
+    fn forget_reverts_to_class_lookup() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 3);
+        let a = (JobId(9), JobConfig::new(ModelFamily::A3C, 4));
+        bridge.register(&oracle, a.0, a.1);
+        bridge.forget(a.0);
+        // Still answers using the exact-config class.
+        let b = (JobId(10), JobConfig::new(ModelFamily::A3C, 4));
+        assert!(bridge
+            .pair_throughput(&oracle, a, b, GpuKind::V100)
+            .is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event cluster simulator for Gavel experiments.
+//!
+//! Re-implements (in Rust) the simulator the paper used for its large-scale
+//! evaluation (§7.1): a round-quantized event simulator that drives any
+//! [`gavel_core::Policy`] through the round-based mechanism of
+//! `gavel-sched`, with job arrivals from `gavel-workloads` traces and
+//! throughputs from the synthetic oracle.
+//!
+//! Fidelity knobs reproduce the paper's setups:
+//!
+//! - **round length** (Figure 13a sweeps 360–2880 s),
+//! - **ideal execution** (Figure 13b: apply allocations as fluid rates,
+//!   bypassing the mechanism),
+//! - **physical mode** (Table 3: checkpoint/restore overhead on worker
+//!   changes plus multiplicative throughput jitter),
+//! - **space sharing** (pair tensors, oracle or estimated — Figure 14),
+//! - **allocation recomputation cadence** (reset events and/or every N
+//!   rounds).
+
+pub mod config;
+pub mod estimate;
+pub mod metrics;
+pub mod runner;
+
+pub use config::{RecomputeCadence, SimConfig};
+pub use estimate::EstimatorBridge;
+pub use metrics::{JobOutcome, SimResult};
+pub use runner::Simulator;
+
+/// Runs `policy` over `trace` under `config` and returns the metrics.
+///
+/// Convenience wrapper over [`Simulator`].
+pub fn run(
+    policy: &dyn gavel_core::Policy,
+    trace: &[gavel_workloads::TraceJob],
+    config: &SimConfig,
+) -> SimResult {
+    Simulator::new(config.clone()).run(policy, trace)
+}

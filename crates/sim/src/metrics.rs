@@ -1,0 +1,251 @@
+//! Simulation outcomes and the metrics the paper reports.
+
+use gavel_core::JobId;
+use gavel_workloads::JobConfig;
+
+/// Per-job outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job identity.
+    pub id: JobId,
+    /// Model configuration.
+    pub config: JobConfig,
+    /// Worker count.
+    pub scale_factor: u32,
+    /// Arrival time (seconds).
+    pub arrival: f64,
+    /// Completion time (seconds); `None` if unfinished at the cap.
+    pub completion: Option<f64>,
+    /// Sampled ideal duration (dedicated fastest hardware), seconds.
+    pub ideal_duration: f64,
+    /// Active jobs in the cluster when this job arrived (for the
+    /// finish-time-fairness denominator).
+    pub contention_at_arrival: usize,
+    /// Estimated completion time had the job owned a dedicated `1/n`
+    /// cluster slice from arrival (n = contention at arrival), seconds.
+    pub isolated_duration: f64,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Absolute SLO deadline (seconds), if any.
+    pub slo_deadline: Option<f64>,
+    /// Dollar cost accrued by this job's workers.
+    pub cost: f64,
+}
+
+impl JobOutcome {
+    /// Job completion time in seconds (None if unfinished).
+    pub fn jct(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+
+    /// Finish-time-fairness ratio `rho` (§4.2): achieved JCT over the
+    /// isolated-share JCT estimate.
+    pub fn ftf_rho(&self) -> Option<f64> {
+        self.jct().map(|j| j / self.isolated_duration.max(1e-9))
+    }
+
+    /// Whether the job violated its SLO (unfinished jobs count as
+    /// violations when a deadline exists).
+    pub fn slo_violated(&self) -> bool {
+        match (self.slo_deadline, self.completion) {
+            (Some(d), Some(c)) => c > d,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Whether the job's ideal duration is below the median-ish threshold
+    /// the paper uses to split "short" from "long" jobs in its CDFs.
+    pub fn is_short(&self, threshold_seconds: f64) -> bool {
+        self.ideal_duration < threshold_seconds
+    }
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-job outcomes, in arrival order.
+    pub jobs: Vec<JobOutcome>,
+    /// Time the last job completed (or the cap), seconds.
+    pub makespan: f64,
+    /// Total dollar cost across all workers and rounds.
+    pub total_cost: f64,
+    /// Busy worker-seconds divided by available worker-seconds.
+    pub utilization: f64,
+    /// Number of rounds simulated.
+    pub rounds: usize,
+    /// Number of allocation recomputations.
+    pub recomputations: usize,
+    /// Wall-clock seconds spent inside policy solves.
+    pub policy_solve_seconds: f64,
+    /// Policy solve failures that fell back to the isolated split.
+    pub policy_failures: usize,
+}
+
+impl SimResult {
+    /// Average JCT in hours over completed jobs (optionally only those with
+    /// id within `[skip_first, len - skip_last)` to measure steady state).
+    pub fn avg_jct_hours(&self) -> f64 {
+        let jcts: Vec<f64> = self.jobs.iter().filter_map(|j| j.jct()).collect();
+        if jcts.is_empty() {
+            return 0.0;
+        }
+        jcts.iter().sum::<f64>() / jcts.len() as f64 / 3600.0
+    }
+
+    /// Average JCT in hours over a steady-state window of jobs (drops the
+    /// warm-up prefix and cool-down suffix).
+    pub fn steady_state_avg_jct_hours(&self, warmup: usize, cooldown: usize) -> f64 {
+        let n = self.jobs.len();
+        let end = n.saturating_sub(cooldown);
+        let window: Vec<f64> = self
+            .jobs
+            .iter()
+            .take(end)
+            .skip(warmup.min(end))
+            .filter_map(|j| j.jct())
+            .collect();
+        if window.is_empty() {
+            return 0.0;
+        }
+        window.iter().sum::<f64>() / window.len() as f64 / 3600.0
+    }
+
+    /// Average JCT in hours over jobs selected by `pred`.
+    pub fn avg_jct_hours_where<F: Fn(&JobOutcome) -> bool>(&self, pred: F) -> f64 {
+        let jcts: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| pred(j))
+            .filter_map(|j| j.jct())
+            .collect();
+        if jcts.is_empty() {
+            return 0.0;
+        }
+        jcts.iter().sum::<f64>() / jcts.len() as f64 / 3600.0
+    }
+
+    /// Fraction of jobs left unfinished at the simulation cap.
+    pub fn unfinished_fraction(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.completion.is_none()).count() as f64 / self.jobs.len() as f64
+    }
+
+    /// Fraction of SLO-carrying jobs that violated their SLO.
+    pub fn slo_violation_fraction(&self) -> f64 {
+        let with_slo: Vec<&JobOutcome> = self
+            .jobs
+            .iter()
+            .filter(|j| j.slo_deadline.is_some())
+            .collect();
+        if with_slo.is_empty() {
+            return 0.0;
+        }
+        with_slo.iter().filter(|j| j.slo_violated()).count() as f64 / with_slo.len() as f64
+    }
+
+    /// Sorted JCTs (hours) of jobs selected by `pred` — CDF x-values.
+    pub fn jct_cdf_hours<F: Fn(&JobOutcome) -> bool>(&self, pred: F) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| pred(j))
+            .filter_map(|j| j.jct())
+            .map(|s| s / 3600.0)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Sorted finish-time-fairness ratios of completed jobs.
+    pub fn ftf_cdf(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.jobs.iter().filter_map(|j| j.ftf_rho()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Average finish-time-fairness ratio over completed jobs.
+    pub fn avg_ftf(&self) -> f64 {
+        let v: Vec<f64> = self.jobs.iter().filter_map(|j| j.ftf_rho()).collect();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// `p`-th percentile (0–100) of JCT hours over completed jobs.
+    pub fn jct_percentile_hours(&self, p: f64) -> f64 {
+        let v = self.jct_cdf_hours(|_| true);
+        if v.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gavel_workloads::ModelFamily;
+
+    fn outcome(arrival: f64, completion: Option<f64>, iso: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            config: JobConfig::new(ModelFamily::A3C, 4),
+            scale_factor: 1,
+            arrival,
+            completion,
+            ideal_duration: 3600.0,
+            contention_at_arrival: 4,
+            isolated_duration: iso,
+            weight: 1.0,
+            slo_deadline: None,
+            cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn jct_and_rho() {
+        let o = outcome(100.0, Some(7300.0), 3600.0);
+        assert!((o.jct().unwrap() - 7200.0).abs() < 1e-9);
+        assert!((o.ftf_rho().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_violations() {
+        let mut o = outcome(0.0, Some(100.0), 1.0);
+        o.slo_deadline = Some(50.0);
+        assert!(o.slo_violated());
+        o.slo_deadline = Some(150.0);
+        assert!(!o.slo_violated());
+        o.completion = None;
+        assert!(o.slo_violated(), "unfinished SLO job counts as violated");
+    }
+
+    #[test]
+    fn steady_state_window() {
+        let jobs: Vec<JobOutcome> = (0..10)
+            .map(|i| outcome(0.0, Some(3600.0 * (i + 1) as f64), 1.0))
+            .collect();
+        let r = SimResult {
+            jobs,
+            makespan: 0.0,
+            total_cost: 0.0,
+            utilization: 0.0,
+            rounds: 0,
+            recomputations: 0,
+            policy_solve_seconds: 0.0,
+            policy_failures: 0,
+        };
+        // All 10 jobs: mean of 1..=10 hours = 5.5.
+        assert!((r.avg_jct_hours() - 5.5).abs() < 1e-9);
+        // Window drops 2 front and 2 back: mean of 3..=8 = 5.5.
+        assert!((r.steady_state_avg_jct_hours(2, 2) - 5.5).abs() < 1e-9);
+        // Percentiles.
+        assert!((r.jct_percentile_hours(0.0) - 1.0).abs() < 1e-9);
+        assert!((r.jct_percentile_hours(100.0) - 10.0).abs() < 1e-9);
+    }
+}

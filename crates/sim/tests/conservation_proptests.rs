@@ -1,0 +1,96 @@
+//! Accounting-conservation properties of the simulator, across random
+//! traces, loads, and policies.
+
+use gavel_core::Policy;
+use gavel_policies::{AgnosticLas, FifoHet, MaxMinFairness, MinMakespan};
+use gavel_sim::SimConfig;
+use gavel_workloads::{generate, Oracle, TraceConfig};
+use proptest::prelude::*;
+
+fn cluster() -> gavel_core::ClusterSpec {
+    gavel_core::ClusterSpec::new(&[
+        ("v100", 2, 2, 2.48),
+        ("p100", 2, 2, 1.46),
+        ("k80", 2, 2, 0.45),
+    ])
+}
+
+fn policy_by_index(i: usize) -> Box<dyn Policy> {
+    match i % 4 {
+        0 => Box::new(MaxMinFairness::new()),
+        1 => Box::new(AgnosticLas::new()),
+        2 => Box::new(FifoHet::new()),
+        _ => Box::new(MinMakespan::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn accounting_invariants_hold(
+        lam in 0.5f64..2.0,
+        n in 8usize..20,
+        seed in 0u64..100,
+        policy_idx in 0usize..4,
+    ) {
+        let oracle = Oracle::new();
+        let trace = generate(&TraceConfig::continuous_single(lam, n, seed), &oracle);
+        let policy = policy_by_index(policy_idx);
+        let cfg = SimConfig::new(cluster());
+        let result = gavel_sim::run(policy.as_ref(), &trace, &cfg);
+
+        // Everything finishes on this small cluster with a finite trace.
+        prop_assert_eq!(result.unfinished_fraction(), 0.0);
+        prop_assert_eq!(result.policy_failures, 0);
+
+        // Per-job cost attribution sums to the cluster total.
+        let per_job: f64 = result.jobs.iter().map(|j| j.cost).sum();
+        prop_assert!((per_job - result.total_cost).abs() < 1e-6 * (1.0 + result.total_cost));
+
+        // Makespan equals the last completion.
+        let last = result
+            .jobs
+            .iter()
+            .filter_map(|j| j.completion)
+            .fold(0.0f64, f64::max);
+        prop_assert!((result.makespan - last).abs() < 1e-6);
+
+        // Physics: no job beats its dedicated-best-hardware duration, and
+        // completions never precede arrivals.
+        for j in &result.jobs {
+            let jct = j.jct().expect("finished");
+            prop_assert!(jct >= j.ideal_duration * 0.999, "{}: {jct}", j.id);
+            prop_assert!(j.completion.unwrap() >= j.arrival);
+        }
+
+        // Utilization is a valid fraction, and with positive work, strictly
+        // positive.
+        prop_assert!(result.utilization > 0.0 && result.utilization <= 1.0);
+
+        // Deterministic replay.
+        let again = gavel_sim::run(policy_by_index(policy_idx).as_ref(), &trace, &cfg);
+        for (a, b) in result.jobs.iter().zip(&again.jobs) {
+            prop_assert_eq!(a.completion, b.completion);
+        }
+    }
+
+    /// The ideal fluid mode obeys the same conservation rules.
+    #[test]
+    fn ideal_mode_invariants(
+        lam in 0.5f64..2.0,
+        n in 6usize..15,
+        seed in 0u64..50,
+    ) {
+        let oracle = Oracle::new();
+        let trace = generate(&TraceConfig::continuous_single(lam, n, seed), &oracle);
+        let mut cfg = SimConfig::new(cluster());
+        cfg.ideal_execution = true;
+        let result = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+        prop_assert_eq!(result.unfinished_fraction(), 0.0);
+        for j in &result.jobs {
+            prop_assert!(j.jct().expect("finished") >= j.ideal_duration * 0.999);
+        }
+        prop_assert!(result.utilization > 0.0 && result.utilization <= 1.0);
+    }
+}

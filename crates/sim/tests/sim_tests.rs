@@ -1,0 +1,266 @@
+//! End-to-end simulator tests on small clusters and traces.
+
+use gavel_policies::{
+    AgnosticLas, FifoAgnostic, FifoHet, GandivaPolicy, MaxMinFairness, MinMakespan,
+};
+use gavel_sim::{RecomputeCadence, SimConfig, Simulator};
+use gavel_workloads::{
+    cluster_twelve, generate, GpuKind, JobConfig, ModelFamily, Oracle, TraceConfig, TraceJob,
+};
+
+fn small_cluster() -> gavel_core::ClusterSpec {
+    gavel_core::ClusterSpec::new(&[
+        ("v100", 2, 2, 2.48),
+        ("p100", 2, 2, 1.46),
+        ("k80", 2, 2, 0.45),
+    ])
+}
+
+fn single_job_trace(duration_s: f64) -> Vec<TraceJob> {
+    let oracle = Oracle::new();
+    let config = JobConfig::new(ModelFamily::ResNet50, 32);
+    let tput = oracle.isolated(config, GpuKind::V100);
+    vec![TraceJob {
+        id: gavel_core::JobId(0),
+        config,
+        arrival_time: 0.0,
+        scale_factor: 1,
+        total_steps: duration_s * tput,
+        duration_seconds: duration_s,
+        weight: 1.0,
+        slo_factor: None,
+        entity: None,
+    }]
+}
+
+#[test]
+fn lone_job_finishes_in_ideal_time() {
+    let trace = single_job_trace(7200.0);
+    let cfg = SimConfig::new(small_cluster());
+    let result = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let jct = result.jobs[0].jct().expect("job completes");
+    // One job gets a dedicated V100; JCT is the ideal duration, round-
+    // quantized at worst.
+    assert!(jct >= 7200.0 - 1.0, "jct {jct}");
+    assert!(jct <= 7200.0 + 2.0 * cfg.round_seconds, "jct {jct}");
+}
+
+#[test]
+fn jct_never_beats_ideal_duration() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(8.0, 30, 5), &oracle);
+    let cfg = SimConfig::new(small_cluster());
+    let result = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    for o in &result.jobs {
+        if let Some(jct) = o.jct() {
+            assert!(
+                jct >= o.ideal_duration * 0.999,
+                "{}: jct {jct} < ideal {}",
+                o.id,
+                o.ideal_duration
+            );
+        }
+    }
+    assert_eq!(result.unfinished_fraction(), 0.0, "all jobs should finish");
+}
+
+#[test]
+fn het_aware_beats_agnostic_on_avg_jct() {
+    let oracle = Oracle::new();
+    // Moderate load on the 12-GPU cluster.
+    let trace = generate(&TraceConfig::continuous_single(1.2, 60, 7), &oracle);
+    let cfg = SimConfig::new(cluster_twelve());
+    let het = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let agn = gavel_sim::run(&AgnosticLas::new(), &trace, &cfg);
+    let h = het.steady_state_avg_jct_hours(10, 5);
+    let a = agn.steady_state_avg_jct_hours(10, 5);
+    assert!(
+        h < a,
+        "heterogeneity-aware avg JCT {h} should beat agnostic {a}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(2.0, 25, 3), &oracle);
+    let cfg = SimConfig::new(small_cluster());
+    let r1 = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let r2 = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    assert_eq!(r1.jobs.len(), r2.jobs.len());
+    for (a, b) in r1.jobs.iter().zip(&r2.jobs) {
+        assert_eq!(a.completion, b.completion, "{}", a.id);
+    }
+}
+
+#[test]
+fn ideal_execution_close_to_mechanism() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(1.5, 40, 11), &oracle);
+    let mut cfg = SimConfig::new(cluster_twelve());
+    let rounds = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    cfg.ideal_execution = true;
+    let ideal = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let rj = rounds.avg_jct_hours();
+    let ij = ideal.avg_jct_hours();
+    // Figure 13b: the mechanism at 6-minute rounds behaves almost
+    // identically to the fluid ideal.
+    assert!(ij <= rj * 1.05 + 0.2, "ideal {ij} vs rounds {rj}");
+    assert!(rj <= ij * 1.35 + 0.5, "rounds {rj} vs ideal {ij}");
+}
+
+#[test]
+fn physical_fidelity_adds_modest_overhead() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(1.5, 30, 13), &oracle);
+    let cfg = SimConfig::new(cluster_twelve());
+    let sim = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let phys_cfg = SimConfig::new(cluster_twelve()).with_physical_fidelity(1);
+    let phys = gavel_sim::run(&MaxMinFairness::new(), &trace, &phys_cfg);
+    let s = sim.avg_jct_hours();
+    let p = phys.avg_jct_hours();
+    // Table 3: physical and simulated metrics agree within a few percent.
+    assert!(
+        (p - s).abs() / s < 0.10,
+        "physical {p} vs simulated {s} diverge too much"
+    );
+}
+
+#[test]
+fn space_sharing_helps_at_high_load() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(2.5, 50, 17), &oracle);
+    let cfg = SimConfig::new(cluster_twelve());
+    let plain = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let ss_cfg = SimConfig::new(cluster_twelve()).with_space_sharing();
+    let ss = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &ss_cfg);
+    let p = plain.steady_state_avg_jct_hours(5, 5);
+    let s = ss.steady_state_avg_jct_hours(5, 5);
+    assert!(s <= p * 1.02, "space sharing should not hurt: {s} vs {p}");
+}
+
+#[test]
+fn estimated_throughputs_close_to_oracle() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(2.0, 40, 19), &oracle);
+    let base = SimConfig::new(cluster_twelve()).with_space_sharing();
+    let oracle_run = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &base);
+    let mut est_cfg = SimConfig::new(cluster_twelve()).with_space_sharing();
+    est_cfg.estimate_pair_throughputs = true;
+    let est_run = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &est_cfg);
+    let o = oracle_run.avg_jct_hours();
+    let e = est_run.avg_jct_hours();
+    // Figure 14: the estimator costs only a small JCT increase.
+    assert!(
+        (e - o) / o < 0.25,
+        "estimated {e} vs oracle {o} diverge too much"
+    );
+}
+
+#[test]
+fn makespan_policy_beats_fifo_on_static_trace() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::static_single(40, 23), &oracle);
+    let cfg = SimConfig::new(cluster_twelve());
+    let mk = gavel_sim::run(&MinMakespan::new(), &trace, &cfg);
+    let fifo = gavel_sim::run(&FifoAgnostic::new(), &trace, &cfg);
+    assert!(mk.unfinished_fraction() == 0.0);
+    assert!(
+        mk.makespan < fifo.makespan,
+        "makespan policy {} vs FIFO {}",
+        mk.makespan,
+        fifo.makespan
+    );
+}
+
+#[test]
+fn fifo_het_beats_fifo_agnostic() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(1.5, 40, 29), &oracle);
+    let cfg = SimConfig::new(cluster_twelve());
+    let het = gavel_sim::run(&FifoHet::new(), &trace, &cfg);
+    let agn = gavel_sim::run(&FifoAgnostic::new(), &trace, &cfg);
+    let h = het.steady_state_avg_jct_hours(5, 5);
+    let a = agn.steady_state_avg_jct_hours(5, 5);
+    assert!(h < a, "FIFO het {h} vs agnostic {a}");
+}
+
+#[test]
+fn gandiva_runs_to_completion() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(1.5, 25, 31), &oracle);
+    let cfg = SimConfig::new(cluster_twelve()).with_space_sharing();
+    let result = gavel_sim::run(&GandivaPolicy::new(5), &trace, &cfg);
+    assert_eq!(result.unfinished_fraction(), 0.0);
+    assert_eq!(result.policy_failures, 0);
+}
+
+#[test]
+fn recompute_cadence_changes_solve_count() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(2.0, 20, 37), &oracle);
+    let mut cfg = SimConfig::new(small_cluster());
+    let on_reset = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    cfg.recompute = RecomputeCadence::EveryNRounds(1);
+    let every_round = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    assert!(
+        every_round.recomputations > on_reset.recomputations,
+        "every-round {} vs on-reset {}",
+        every_round.recomputations,
+        on_reset.recomputations
+    );
+}
+
+#[test]
+fn utilization_and_cost_accounting_consistent() {
+    let trace = single_job_trace(3600.0);
+    let cfg = SimConfig::new(small_cluster());
+    let sim = Simulator::new(cfg.clone());
+    let result = sim.run(&MaxMinFairness::new(), &trace);
+    // One V100 busy for ~an hour: cost ~ $2.48.
+    assert!(
+        (result.total_cost - 2.48).abs() < 0.35,
+        "cost {}",
+        result.total_cost
+    );
+    assert!(result.utilization > 0.0 && result.utilization <= 1.0);
+    // Per-job cost attribution sums to the total.
+    let per_job: f64 = result.jobs.iter().map(|j| j.cost).sum();
+    assert!((per_job - result.total_cost).abs() < 1e-6);
+}
+
+#[test]
+fn worker_failures_trigger_resets_and_slow_jobs() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(1.0, 25, 41), &oracle);
+    let base = SimConfig::new(cluster_twelve());
+    let healthy = gavel_sim::run(&MaxMinFairness::new(), &trace, &base);
+    // Aggressive failures: one per ~2 hours, 1-hour repairs.
+    let faulty_cfg = SimConfig::new(cluster_twelve()).with_failures(7200.0, 3600.0);
+    let faulty = gavel_sim::run(&MaxMinFairness::new(), &trace, &faulty_cfg);
+    assert!(
+        faulty.recomputations > healthy.recomputations,
+        "failures are reset events: {} vs {}",
+        faulty.recomputations,
+        healthy.recomputations
+    );
+    assert!(
+        faulty.avg_jct_hours() >= healthy.avg_jct_hours() * 0.98,
+        "losing workers cannot speed jobs up: {} vs {}",
+        faulty.avg_jct_hours(),
+        healthy.avg_jct_hours()
+    );
+    assert_eq!(faulty.unfinished_fraction(), 0.0, "jobs still finish");
+}
+
+#[test]
+fn failure_injection_is_deterministic() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(1.5, 20, 43), &oracle);
+    let cfg = SimConfig::new(cluster_twelve()).with_failures(10_000.0, 3600.0);
+    let a = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let b = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(x.completion, y.completion);
+    }
+}

@@ -1,0 +1,47 @@
+//! From-scratch linear-programming toolkit powering Gavel's scheduling policies.
+//!
+//! The Gavel paper expresses every scheduling policy as an optimization
+//! problem: most are single linear programs, makespan is a binary search over
+//! LP feasibility problems, the cost policies are linear-fractional programs,
+//! and the water-filling procedure for hierarchical fairness needs a small
+//! mixed-integer program to identify bottlenecked jobs. This crate provides
+//! all four building blocks without any external solver dependency:
+//!
+//! - [`LpProblem`] — a builder for linear programs with bounded variables.
+//! - [`simplex`] — a dense two-phase primal simplex with Bland's-rule
+//!   anti-cycling, used by [`LpProblem::solve`].
+//! - [`fractional`] — the Charnes–Cooper transform for maximizing a ratio of
+//!   affine functions over a polyhedron.
+//! - [`milp`] — branch-and-bound over binary variables.
+//! - [`bisect`] — a bisection driver for sequence-of-LP policies (makespan).
+//!
+//! # Examples
+//!
+//! ```
+//! use gavel_solver::{LpProblem, Sense, Cmp};
+//!
+//! // Maximize 3x + 2y subject to x + y <= 4, x <= 2, x,y >= 0.
+//! let mut lp = LpProblem::new(Sense::Maximize);
+//! let x = lp.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = lp.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+//! lp.add_constraint(&[(x, 1.0)], Cmp::Le, 2.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-6);
+//! assert!((sol[x] - 2.0).abs() < 1e-6);
+//! assert!((sol[y] - 2.0).abs() < 1e-6);
+//! ```
+
+pub mod bisect;
+pub mod error;
+pub mod fractional;
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+
+pub use bisect::{bisect_max, bisect_min};
+pub use error::SolverError;
+pub use fractional::{solve_fractional, FractionalObjective};
+pub use milp::{solve_milp, MilpOptions};
+pub use problem::{Cmp, ConstraintId, LpProblem, Sense, VarId};
+pub use simplex::{LpSolution, SolveStats};

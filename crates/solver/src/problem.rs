@@ -1,0 +1,457 @@
+//! Linear-program builder.
+//!
+//! [`LpProblem`] collects variables (with bounds and objective coefficients)
+//! and linear constraints, then lowers the problem to the standard form
+//! `min c'x` subject to `Ax {<=,>=,=} b, x >= 0` consumed by the simplex in
+//! [`crate::simplex`]. The lowering handles:
+//!
+//! - maximization (objective negation),
+//! - finite lower bounds (variable shifting),
+//! - finite upper bounds (an extra row per bounded variable, unless the
+//!   bound is `+inf`),
+//! - free variables (split into a difference of two nonnegative variables).
+
+use crate::error::SolverError;
+use crate::simplex::{self, LpSolution, SimplexOptions, StandardForm};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Left-hand side must be less than or equal to the right-hand side.
+    Le,
+    /// Left-hand side must be greater than or equal to the right-hand side.
+    Ge,
+    /// Left-hand side must equal the right-hand side.
+    Eq,
+}
+
+/// Opaque handle to a variable of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Returns the dense index of this variable within its problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a constraint of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Var {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables are added with [`LpProblem::add_var`] and referenced through the
+/// returned [`VarId`]. The problem owns its objective sense; objective
+/// coefficients are attached to variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Var>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        LpProblem {
+            sense,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and objective coefficient
+    /// `obj`.
+    ///
+    /// `lower` may be `f64::NEG_INFINITY` and `upper` may be
+    /// `f64::INFINITY`. Invalid bound pairs are reported by
+    /// [`LpProblem::solve`], not here, so building can stay infallible.
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, obj: f64) -> VarId {
+        self.vars.push(Var {
+            name: name.to_string(),
+            lower,
+            upper,
+            obj,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Overwrites the objective coefficient of `var`.
+    pub fn set_objective_coeff(&mut self, var: VarId, obj: f64) {
+        self.vars[var.0].obj = obj;
+    }
+
+    /// Returns the current objective coefficient of `var`.
+    pub fn objective_coeff(&self, var: VarId) -> f64 {
+        self.vars[var.0].obj
+    }
+
+    /// Adds `delta` to the objective coefficient of `var`.
+    pub fn add_objective_coeff(&mut self, var: VarId, delta: f64) {
+        self.vars[var.0].obj += delta;
+    }
+
+    /// Overwrites the bounds of `var`.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        self.vars[var.0].lower = lower;
+        self.vars[var.0].upper = upper;
+    }
+
+    /// Returns the current bounds of `var`.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        (self.vars[var.0].lower, self.vars[var.0].upper)
+    }
+
+    /// Adds the constraint `sum(coeff * var) cmp rhs`.
+    ///
+    /// Repeated `VarId`s in `terms` are allowed; their coefficients are
+    /// summed during lowering.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> ConstraintId {
+        self.cons.push(Constraint {
+            terms: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
+            cmp,
+            rhs,
+        });
+        ConstraintId(self.cons.len() - 1)
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Objective sense of this problem.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Solves the problem with default simplex options.
+    ///
+    /// Returns the optimal solution, or a [`SolverError`] describing
+    /// infeasibility, unboundedness, or numerical failure.
+    pub fn solve(&self) -> Result<LpSolution, SolverError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the problem with explicit simplex options.
+    pub fn solve_with(&self, opts: &SimplexOptions) -> Result<LpSolution, SolverError> {
+        self.validate()?;
+        let lowering = self.lower()?;
+        let (raw, objective_std, stats) = simplex::solve_standard(&lowering.std, opts)?;
+        let values = lowering.recover(&raw);
+        // The standard form always minimizes; undo the lowering's sign and
+        // constant shifts to report the user-facing objective.
+        let mut objective = objective_std + lowering.obj_const;
+        if self.sense == Sense::Maximize {
+            objective = -objective;
+        }
+        Ok(LpSolution {
+            values,
+            objective,
+            stats,
+        })
+    }
+
+    fn validate(&self) -> Result<(), SolverError> {
+        for v in &self.vars {
+            if v.lower.is_nan() || v.upper.is_nan() || v.lower > v.upper {
+                return Err(SolverError::InvalidBounds {
+                    var: v.name.clone(),
+                });
+            }
+            if !v.obj.is_finite() {
+                return Err(SolverError::NonFiniteInput {
+                    context: format!("objective coefficient of `{}`", v.name),
+                });
+            }
+        }
+        for (i, c) in self.cons.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(SolverError::NonFiniteInput {
+                    context: format!("rhs of constraint {i}"),
+                });
+            }
+            for &(v, coeff) in &c.terms {
+                if v >= self.vars.len() {
+                    return Err(SolverError::UnknownVariable);
+                }
+                if !coeff.is_finite() {
+                    return Err(SolverError::NonFiniteInput {
+                        context: format!(
+                            "coefficient of `{}` in constraint {i}",
+                            self.vars[v].name
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower(&self) -> Result<Lowering, SolverError> {
+        let n = self.vars.len();
+        // Per original variable: how it maps into standard columns.
+        let mut mapping = Vec::with_capacity(n);
+        let mut ncols = 0usize;
+        // Extra rows for finite upper bounds on shifted variables.
+        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+        let mut obj_const = 0.0;
+        for v in &self.vars {
+            let lo_finite = v.lower.is_finite();
+            let up_finite = v.upper.is_finite();
+            let m = if lo_finite {
+                // x = lower + x', x' >= 0; upper becomes x' <= upper - lower.
+                let col = ncols;
+                ncols += 1;
+                if up_finite {
+                    bound_rows.push((col, v.upper - v.lower));
+                }
+                obj_const += v.obj * v.lower;
+                VarMap::Shifted {
+                    col,
+                    shift: v.lower,
+                }
+            } else if up_finite {
+                // x = upper - x'', x'' >= 0.
+                let col = ncols;
+                ncols += 1;
+                obj_const += v.obj * v.upper;
+                VarMap::Mirrored {
+                    col,
+                    upper: v.upper,
+                }
+            } else {
+                // Free: x = x+ - x-.
+                let pos = ncols;
+                let neg = ncols + 1;
+                ncols += 2;
+                VarMap::Free { pos, neg }
+            };
+            mapping.push(m);
+        }
+
+        // Objective in standard columns (minimization).
+        let sign = match self.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut costs = vec![0.0; ncols];
+        for (v, m) in self.vars.iter().zip(&mapping) {
+            match *m {
+                VarMap::Shifted { col, .. } => costs[col] += sign * v.obj,
+                VarMap::Mirrored { col, .. } => costs[col] -= sign * v.obj,
+                VarMap::Free { pos, neg } => {
+                    costs[pos] += sign * v.obj;
+                    costs[neg] -= sign * v.obj;
+                }
+            }
+        }
+        let obj_const_signed = sign * obj_const;
+
+        let mut rows = Vec::with_capacity(self.cons.len() + bound_rows.len());
+        for c in &self.cons {
+            let mut coeffs = vec![0.0; ncols];
+            let mut rhs = c.rhs;
+            for &(vi, coeff) in &c.terms {
+                match mapping[vi] {
+                    VarMap::Shifted { col, shift } => {
+                        coeffs[col] += coeff;
+                        rhs -= coeff * shift;
+                    }
+                    VarMap::Mirrored { col, upper } => {
+                        coeffs[col] -= coeff;
+                        rhs -= coeff * upper;
+                    }
+                    VarMap::Free { pos, neg } => {
+                        coeffs[pos] += coeff;
+                        coeffs[neg] -= coeff;
+                    }
+                }
+            }
+            rows.push((coeffs, c.cmp, rhs));
+        }
+        for &(col, ub) in &bound_rows {
+            let mut coeffs = vec![0.0; ncols];
+            coeffs[col] = 1.0;
+            rows.push((coeffs, Cmp::Le, ub));
+        }
+
+        Ok(Lowering {
+            std: StandardForm { ncols, costs, rows },
+            mapping,
+            num_original: n,
+            obj_const: obj_const_signed,
+        })
+    }
+}
+
+impl std::ops::Index<VarId> for LpSolution {
+    type Output = f64;
+
+    fn index(&self, var: VarId) -> &f64 {
+        &self.values[var.0]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    Shifted { col: usize, shift: f64 },
+    Mirrored { col: usize, upper: f64 },
+    Free { pos: usize, neg: usize },
+}
+
+struct Lowering {
+    std: StandardForm,
+    mapping: Vec<VarMap>,
+    num_original: usize,
+    /// Constant added to the standard-form objective (already sign-adjusted
+    /// for maximization).
+    obj_const: f64,
+}
+
+impl Lowering {
+    fn recover(&self, raw: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_original);
+        for m in &self.mapping {
+            let v = match *m {
+                VarMap::Shifted { col, shift } => shift + raw[col],
+                VarMap::Mirrored { col, upper } => upper - raw[col],
+                VarMap::Free { pos, neg } => raw[pos] - raw[neg],
+            };
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximization_with_upper_bounds() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, 2.0, 3.0);
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 10.0).abs() < 1e-7, "obj={}", sol.objective);
+        assert!((sol[x] - 2.0).abs() < 1e-7);
+        assert!((sol[y] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x + y subject to x + y >= 5, x >= 1, y >= 2.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 1.0, f64::INFINITY, 1.0);
+        let y = lp.add_var("y", 2.0, f64::INFINITY, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-7);
+        assert!(sol[x] >= 1.0 - 1e-9);
+        assert!(sol[y] >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min |x| style: min y subject to y >= x, y >= -x, x = -3 forced.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(&[(y, 1.0), (x, -1.0)], Cmp::Ge, 0.0);
+        lp.add_constraint(&[(y, 1.0), (x, 1.0)], Cmp::Ge, 0.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Eq, -3.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] + 3.0).abs() < 1e-7);
+        assert!((sol.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_lower_bound_mirrored_upper() {
+        // Variable with only an upper bound: max x subject to x <= 7.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, 7.0, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detection() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Ge, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(lp.solve().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(&[(x, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), SolverError::Unbounded);
+    }
+
+    #[test]
+    fn invalid_bounds_reported() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        lp.add_var("bad", 2.0, 1.0, 0.0);
+        assert!(matches!(
+            lp.solve().unwrap_err(),
+            SolverError::InvalidBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, f64::INFINITY, 1.0);
+        // 0.5x + 0.5x <= 3  =>  x <= 3.
+        lp.add_constraint(&[(x, 0.5), (x, 0.5)], Cmp::Le, 3.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 2.5, 2.5, 1.0);
+        let y = lp.add_var("y", 0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 2.5).abs() < 1e-9);
+        assert!((sol[y] - 1.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,213 @@
+//! Placement-sensitive policy inputs — §3.1's consolidated/unconsolidated
+//! virtual worker types.
+//!
+//! Distributed jobs run faster when their workers share a server. The paper
+//! models this *inside the policies* by splitting each accelerator type
+//! into two virtual types — consolidated and unconsolidated — with separate
+//! throughput columns, letting the optimization decide which placement
+//! class each job's time goes to.
+//!
+//! The physical capacity couples the two virtual columns (a GPU serves
+//! either class). This module uses a static split: the consolidated
+//! column's capacity is the number of workers on servers large enough to
+//! host whole jobs of the cluster's largest scale factor, and the rest are
+//! unconsolidated. A static split is a conservative inner approximation of
+//! the coupled constraint (any allocation valid under it is physically
+//! realizable), which keeps the standard §3.1 constraint structure intact.
+
+use crate::clusters::GpuKind;
+use crate::oracle::Oracle;
+use crate::tensors::JobSpec;
+use gavel_core::{ClusterSpec, ComboSet, PairThroughput, ThroughputTensor};
+
+/// A cluster expanded into consolidated/unconsolidated virtual types.
+///
+/// Virtual type `2j` is the consolidated class of physical type `j`;
+/// `2j + 1` is its unconsolidated class.
+#[derive(Debug, Clone)]
+pub struct PlacementCluster {
+    /// The virtual cluster handed to policies (2x the physical types).
+    pub virtual_cluster: ClusterSpec,
+    /// The physical cluster it was derived from.
+    pub physical: ClusterSpec,
+}
+
+impl PlacementCluster {
+    /// Splits each physical type's capacity: workers on servers with at
+    /// least `max_scale_factor` slots form the consolidated class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_scale_factor` is zero.
+    pub fn new(physical: &ClusterSpec, max_scale_factor: u32) -> Self {
+        assert!(max_scale_factor > 0, "scale factor must be positive");
+        let mut types = Vec::new();
+        for j in physical.types() {
+            let per_server = physical.workers_per_server(j);
+            let total = physical.num_workers(j);
+            let consolidated = if per_server >= max_scale_factor as usize {
+                // Whole servers can host a full job: all slots on full
+                // servers count as consolidatable.
+                (total / per_server) * per_server
+            } else {
+                0
+            };
+            let unconsolidated = total - consolidated;
+            let name = physical.name(j).to_string();
+            let price = physical.price_per_hour(j);
+            types.push((
+                format!("{name}-cons"),
+                consolidated.max(1),
+                per_server,
+                price,
+            ));
+            types.push((
+                format!("{name}-uncons"),
+                unconsolidated.max(1),
+                1, // Unconsolidated slots behave like lone-GPU servers.
+                price,
+            ));
+        }
+        // ClusterSpec::new wants &str tuples; rebuild.
+        let borrowed: Vec<(&str, usize, usize, f64)> = types
+            .iter()
+            .map(|(n, c, s, p)| (n.as_str(), *c, *s, *p))
+            .collect();
+        PlacementCluster {
+            virtual_cluster: ClusterSpec::new(&borrowed),
+            physical: physical.clone(),
+        }
+    }
+
+    /// The physical GPU kind and placement class of virtual type `v`.
+    pub fn resolve(&self, v: usize) -> (GpuKind, bool) {
+        let physical_idx = v / 2;
+        let consolidated = v % 2 == 0;
+        (
+            GpuKind::from_index(gavel_core::AccelIdx(physical_idx)),
+            consolidated,
+        )
+    }
+}
+
+/// Builds a placement-aware singleton tensor over the virtual types: each
+/// job gets `2 * types` columns with consolidated and unconsolidated
+/// throughputs from the oracle.
+pub fn build_placement_tensor(
+    oracle: &Oracle,
+    jobs: &[JobSpec],
+    placement: &PlacementCluster,
+) -> (ComboSet, ThroughputTensor) {
+    let combos = ComboSet::singletons(&jobs.iter().map(|j| j.id).collect::<Vec<_>>());
+    let num_virtual = placement.virtual_cluster.num_types();
+    let rows = jobs
+        .iter()
+        .map(|job| {
+            (0..num_virtual)
+                .map(|v| {
+                    let (gpu, consolidated) = placement.resolve(v);
+                    PairThroughput::single(oracle.throughput(
+                        job.config,
+                        gpu,
+                        job.scale_factor,
+                        consolidated,
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+    (combos, ThroughputTensor::new(num_virtual, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::cluster_physical;
+    use crate::models::{JobConfig, ModelFamily};
+    use gavel_core::{JobId, Policy, PolicyInput, PolicyJob};
+
+    #[test]
+    fn splits_capacity_by_server_size() {
+        // Physical: 8 V100 (8/server), 16 P100 (4/server), 24 K80 (8/srv).
+        let pc = PlacementCluster::new(&cluster_physical(), 8);
+        let vc = &pc.virtual_cluster;
+        assert_eq!(vc.num_types(), 6);
+        // V100: one 8-slot server -> all consolidated.
+        assert_eq!(vc.num_workers(gavel_core::AccelIdx(0)), 8);
+        // P100: 4-slot servers cannot host an 8-worker job consolidated.
+        assert_eq!(vc.num_workers(gavel_core::AccelIdx(2)), 1); // clamped min
+        assert_eq!(vc.num_workers(gavel_core::AccelIdx(3)), 16);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let pc = PlacementCluster::new(&cluster_physical(), 4);
+        assert_eq!(pc.resolve(0), (GpuKind::V100, true));
+        assert_eq!(pc.resolve(1), (GpuKind::V100, false));
+        assert_eq!(pc.resolve(4), (GpuKind::K80, true));
+        assert_eq!(pc.resolve(5), (GpuKind::K80, false));
+    }
+
+    #[test]
+    fn distributed_jobs_prefer_consolidated_columns() {
+        // A communication-heavy distributed LSTM on a placement-aware
+        // tensor: the LAS policy should put (almost) all of its time on
+        // consolidated columns.
+        let oracle = Oracle::new();
+        let physical = cluster_physical();
+        let pc = PlacementCluster::new(&physical, 4);
+        let jobs_spec = [JobSpec {
+            id: JobId(0),
+            config: JobConfig::new(ModelFamily::Lstm, 20),
+            scale_factor: 4,
+        }];
+        let (combos, tensor) = build_placement_tensor(&oracle, &jobs_spec, &pc);
+        // Consolidated columns strictly dominate for this job.
+        for v in (0..6).step_by(2) {
+            let cons = tensor.entry(0, gavel_core::AccelIdx(v)).a;
+            let uncons = tensor.entry(0, gavel_core::AccelIdx(v + 1)).a;
+            assert!(cons > uncons, "virtual type {v}: {cons} vs {uncons}");
+        }
+        let mut job = PolicyJob::simple(JobId(0), 1e6);
+        job.scale_factor = 4;
+        let jobs = vec![job];
+        let input = PolicyInput {
+            jobs: &jobs,
+            combos: &combos,
+            tensor: &tensor,
+            cluster: &pc.virtual_cluster,
+        };
+        let alloc = gavel_policies::MaxMinFairness::new()
+            .compute_allocation(&input)
+            .unwrap();
+        let cons_time: f64 = (0..6)
+            .step_by(2)
+            .map(|v| alloc.get(0, gavel_core::AccelIdx(v)))
+            .sum();
+        let uncons_time: f64 = (1..6)
+            .step_by(2)
+            .map(|v| alloc.get(0, gavel_core::AccelIdx(v)))
+            .sum();
+        assert!(
+            cons_time > 0.9 && uncons_time < 0.1,
+            "consolidated {cons_time} vs unconsolidated {uncons_time}"
+        );
+    }
+
+    #[test]
+    fn static_split_is_physically_feasible() {
+        // The virtual capacities never exceed the physical ones (modulo the
+        // min-1 clamp on empty classes).
+        let physical = cluster_physical();
+        let pc = PlacementCluster::new(&physical, 8);
+        for j in physical.types() {
+            let cons = pc
+                .virtual_cluster
+                .num_workers(gavel_core::AccelIdx(2 * j.0));
+            let uncons = pc
+                .virtual_cluster
+                .num_workers(gavel_core::AccelIdx(2 * j.0 + 1));
+            assert!(cons + uncons <= physical.num_workers(j) + 1);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests on the synthetic oracle: physical-plausibility
+//! invariants that must hold for every Table 2 configuration.
+
+use gavel_workloads::{GpuKind, JobConfig, Oracle};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = JobConfig> {
+    (0..JobConfig::all().len()).prop_map(|i| JobConfig::all()[i])
+}
+
+fn any_gpu() -> impl Strategy<Value = GpuKind> {
+    (0..3usize).prop_map(|i| GpuKind::all()[i])
+}
+
+proptest! {
+    /// Faster GPU generations never slow a model down (when it fits).
+    #[test]
+    fn generation_ordering(cfg in any_config()) {
+        let o = Oracle::new();
+        let v = o.isolated(cfg, GpuKind::V100);
+        let p = o.isolated(cfg, GpuKind::P100);
+        let k = o.isolated(cfg, GpuKind::K80);
+        prop_assert!(v > 0.0, "everything fits on a V100");
+        if p > 0.0 {
+            prop_assert!(v >= p, "{cfg}: V100 {v} < P100 {p}");
+        }
+        if k > 0.0 {
+            prop_assert!(p >= k, "{cfg}: P100 {p} < K80 {k}");
+        }
+    }
+
+    /// Colocation never exceeds isolated speed, and feasibility is
+    /// symmetric.
+    #[test]
+    fn colocation_bounds(a in any_config(), b in any_config(), gpu in any_gpu()) {
+        let o = Oracle::new();
+        prop_assume!(a != b); // Self-pairs are rejected at the combo level.
+        let ab = o.colocated(a, b, gpu);
+        let ba = o.colocated(b, a, gpu);
+        prop_assert_eq!(ab.is_some(), ba.is_some(), "feasibility symmetric");
+        if let (Some((ta, tb)), Some((tb2, ta2))) = (ab, ba) {
+            prop_assert!((ta - ta2).abs() < 1e-9 && (tb - tb2).abs() < 1e-9,
+                "order independence");
+            let ia = o.isolated(a, gpu);
+            let ib = o.isolated(b, gpu);
+            prop_assert!(ta <= ia + 1e-9, "{a}+{b} on {gpu:?}: {ta} > isolated {ia}");
+            prop_assert!(tb <= ib + 1e-9);
+            prop_assert!(ta > 0.0 && tb > 0.0, "feasible pairs make progress");
+        }
+    }
+
+    /// Distributed scaling: monotone in workers, bounded by linear speedup,
+    /// consolidated at least as fast as unconsolidated.
+    #[test]
+    fn distributed_scaling_bounds(cfg in any_config(), gpu in any_gpu()) {
+        let o = Oracle::new();
+        let iso = o.isolated(cfg, gpu);
+        prop_assume!(iso > 0.0);
+        let mut prev_cons = iso;
+        for k in [2u32, 4, 8] {
+            let cons = o.distributed(cfg, gpu, k, true);
+            let uncons = o.distributed(cfg, gpu, k, false);
+            prop_assert!(cons <= k as f64 * iso + 1e-9, "superlinear scaling");
+            prop_assert!(uncons <= cons + 1e-9, "consolidation can only help");
+            prop_assert!(cons >= prev_cons - 1e-9, "more workers cannot hurt (consolidated)");
+            prop_assert!(uncons > 0.0);
+            prev_cons = cons;
+        }
+    }
+
+    /// Memory accounting: pairs fit iff their footprints fit, and memory
+    /// grows with batch size.
+    #[test]
+    fn memory_model_consistency(a in any_config(), b in any_config(), gpu in any_gpu()) {
+        let o = Oracle::new();
+        let fits = o.memory_gb(a) + o.memory_gb(b) <= gpu.memory_gb();
+        prop_assert_eq!(o.colocated(a, b, gpu).is_some(), fits);
+    }
+
+    /// Utilization stays a valid fraction and rises with batch size within
+    /// a family.
+    #[test]
+    fn utilization_valid(cfg in any_config(), gpu in any_gpu()) {
+        let o = Oracle::new();
+        let u = o.utilization(cfg, gpu);
+        prop_assert!((0.05..=1.0).contains(&u), "{cfg} on {gpu:?}: {u}");
+        let sizes = cfg.family.batch_sizes();
+        if let Some(pos) = sizes.iter().position(|&b| b == cfg.batch_size) {
+            if pos + 1 < sizes.len() {
+                let bigger = JobConfig::new(cfg.family, sizes[pos + 1]);
+                prop_assert!(
+                    o.utilization(bigger, gpu) >= u - 1e-9,
+                    "utilization should rise with batch size"
+                );
+            }
+        }
+    }
+
+    /// Per-dollar throughput is consistent with price and raw throughput.
+    #[test]
+    fn per_dollar_consistency(cfg in any_config(), gpu in any_gpu()) {
+        let o = Oracle::new();
+        let direct = o.isolated(cfg, gpu) / (gpu.price_per_hour() / 3600.0);
+        prop_assert!((o.per_dollar(cfg, gpu) - direct).abs() < 1e-6);
+    }
+}

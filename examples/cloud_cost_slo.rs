@@ -1,0 +1,47 @@
+//! Public-cloud cost optimization (§4.2 / §7.3): schedule jobs with
+//! deadlines on rented GPUs, minimizing dollar cost while honoring SLOs.
+//!
+//! Run: `cargo run --release --example cloud_cost_slo`
+
+use gavel::prelude::*;
+use gavel::workloads::cost_workload;
+
+fn main() {
+    let oracle = Oracle::new();
+    // 40 jobs: half ResNet-50 (loves the V100), half A3C (cheapest per
+    // iteration on the K80), with SLOs at 1.2x/2x/10x their ideal duration.
+    let trace = cost_workload(40, 1.0, &oracle, 11);
+    let cluster = cluster_simulated();
+
+    println!(
+        "Cloud workload: {} jobs with SLOs on a 108-GPU cluster\n",
+        trace.len()
+    );
+    println!(
+        "{:>24} | {:>10} | {:>14} | {:>9}",
+        "policy", "total cost", "SLO violations", "makespan"
+    );
+    for (name, policy) in [
+        (
+            "Maximize throughput",
+            &MaxTotalThroughput::new() as &dyn Policy,
+        ),
+        ("Minimize cost", &MinCost::new()),
+        ("Minimize cost w/ SLOs", &MinCostSlo::new()),
+    ] {
+        let cfg = SimConfig::new(cluster.clone());
+        let result = gavel::sim::run(policy, &trace, &cfg);
+        println!(
+            "{:>24} | {:>9.0}$ | {:>13.0}% | {:>7.1}h",
+            name,
+            result.total_cost,
+            result.slo_violation_fraction() * 100.0,
+            result.makespan / 3600.0
+        );
+    }
+    println!(
+        "\nMinimize-cost pushes everything to cheap K80s and blows deadlines; the\n\
+         SLO-aware variant keeps tight-deadline jobs on V100s and pays slightly\n\
+         more — the trade-off quantified in §7.3 of the paper."
+    );
+}
