@@ -11,140 +11,6 @@
 //!
 //! Run: `cargo run --release -p gavel-experiments --bin fig11_hierarchical`
 
-use gavel_core::{Policy, PolicyInput, PolicyJob};
-use gavel_experiments::print_table;
-use gavel_policies::{EntityPolicy, Hierarchical};
-use gavel_workloads::{
-    build_singleton_tensor, cluster_small, generate, JobSpec, Oracle, TraceConfig,
-};
-
 fn main() {
-    run_timeline(EntityPolicy::Fairness, "Figure 11");
-}
-
-/// Shared timeline driver (the Figure 21 binary reuses it with a FIFO
-/// inner policy).
-pub fn run_timeline(inner: EntityPolicy, figure: &str) {
-    let oracle = Oracle::new();
-    let cluster = cluster_small();
-    let entity_weights = vec![1.0, 2.0, 3.0];
-    // 18 long-running jobs with Table 2 configurations (deterministic).
-    let trace = generate(&TraceConfig::static_single(18, 77), &oracle);
-
-    let policy = Hierarchical::new(entity_weights.clone(), inner);
-    let mut rows_a = Vec::new();
-    let mut rows_b = Vec::new();
-    for step in 0..22usize {
-        // One new job every 4 timesteps; entity = job index / 6.
-        let n = ((step * 4) / 4 + 1).min(18);
-        let active = &trace[..n];
-        let specs: Vec<JobSpec> = active
-            .iter()
-            .map(|t| JobSpec {
-                id: t.id,
-                config: t.config,
-                scale_factor: 1,
-            })
-            .collect();
-        let (combos, tensor) = build_singleton_tensor(&oracle, &specs, true);
-        let jobs: Vec<PolicyJob> = active
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mut j = PolicyJob::simple(t.id, 1e12);
-                j.entity = Some(i / 6);
-                j.arrival_seq = i as u64;
-                j
-            })
-            .collect();
-        let input = PolicyInput {
-            jobs: &jobs,
-            combos: &combos,
-            tensor: &tensor,
-            cluster: &cluster,
-        };
-        let alloc = policy
-            .compute_allocation(&input)
-            .expect("hierarchical allocation");
-
-        // Normalized effective throughput per job (relative to full time at
-        // the cluster's equal mix).
-        let x_eq = gavel_core::x_equal(&cluster);
-        let norm: Vec<f64> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                let t = alloc.effective_throughput(&tensor, j.id);
-                let full = gavel_core::refs::throughput_under(&tensor, i, &x_eq);
-                if full > 0.0 {
-                    t / full
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let total: f64 = norm.iter().sum();
-        let mut entity_frac = [0.0f64; 3];
-        for (i, &t) in norm.iter().enumerate() {
-            entity_frac[i / 6] += t / total.max(1e-12);
-        }
-        rows_a.push(vec![
-            (step * 4).to_string(),
-            n.to_string(),
-            format!("{:.2}", entity_frac[0]),
-            format!("{:.2}", entity_frac[1]),
-            format!("{:.2}", entity_frac[2]),
-        ]);
-
-        // (b) Heterogeneity-agnostic static partition: each entity owns a
-        // weight-proportional slice of every GPU type, split equally among
-        // its jobs and spread uniformly across types. In normalized units a
-        // job's throughput equals its (capped) time share.
-        let weight_sum: f64 = (0..3)
-            .filter(|&e| (0..n).any(|i| i / 6 == e))
-            .map(|e| entity_weights[e])
-            .sum();
-        let mut static_total = 0.0;
-        for e in 0..3usize {
-            let members = (0..n).filter(|&i| i / 6 == e).count();
-            if members == 0 {
-                continue;
-            }
-            let entity_share = entity_weights[e] / weight_sum;
-            let per_job_time =
-                (entity_share * cluster.total_workers() as f64 / members as f64).min(1.0);
-            static_total += per_job_time * members as f64;
-        }
-        rows_b.push(vec![
-            (step * 4).to_string(),
-            format!("{:.2}", total),
-            format!("{:.2}", static_total),
-        ]);
-    }
-
-    print_table(
-        &format!("{figure}a: fraction of total effective throughput per entity"),
-        &[
-            "timestep",
-            "jobs",
-            "entity 0 (w=1)",
-            "entity 1 (w=2)",
-            "entity 2 (w=3)",
-        ],
-        &rows_a,
-    );
-    print_table(
-        &format!("{figure}b: total normalized effective throughput"),
-        &[
-            "timestep",
-            "multi-level (het-aware)",
-            "static partition (agnostic)",
-        ],
-        &rows_b,
-    );
-    println!(
-        "\nShape check (paper): entity shares converge to the 1:2:3 weight ratio \
-         as jobs fill in, and the heterogeneity-aware policy's total throughput \
-         exceeds the static partition (paper: ~17% higher)."
-    );
+    gavel_experiments::figs::fig11_hierarchical::run(gavel_experiments::Scale::from_args());
 }

@@ -7,74 +7,6 @@
 //!
 //! Run: `cargo run --release -p gavel-experiments --bin fig13_mechanism`
 
-use gavel_experiments::{mean, print_table, run_avg_jct, Scale};
-use gavel_policies::MaxMinFairness;
-use gavel_sim::SimConfig;
-use gavel_workloads::{cluster_simulated, generate, Oracle, TraceConfig};
-
 fn main() {
-    let scale = Scale::from_args();
-    let num_jobs = scale.pick(50, 120, 350);
-    let lambdas: Vec<f64> = match scale {
-        Scale::Quick => vec![1.0, 2.0],
-        Scale::Standard => vec![1.0, 2.0, 3.0],
-        Scale::Full => vec![1.0, 2.0, 3.0, 4.0, 5.0],
-    };
-    let seeds: Vec<u64> = (0..scale.pick(1, 2, 2)).collect();
-    let oracle = Oracle::new();
-    let round_lengths = [360.0, 720.0, 1440.0, 2880.0];
-
-    // (a) Round-length sweep.
-    let mut rows = Vec::new();
-    for &lam in &lambdas {
-        let mut row = vec![format!("{lam:.1}")];
-        for &rl in &round_lengths {
-            let jcts: Vec<f64> = seeds
-                .iter()
-                .map(|&s| {
-                    let trace =
-                        generate(&TraceConfig::continuous_single(lam, num_jobs, s), &oracle);
-                    let mut cfg = SimConfig::new(cluster_simulated());
-                    cfg.round_seconds = rl;
-                    run_avg_jct(&MaxMinFairness::new(), &trace, &cfg)
-                })
-                .collect();
-            row.push(format!("{:.1}", mean(&jcts)));
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Figure 13a: average JCT (hours) vs round length (LAS het-aware)",
-        &["jobs/hr", "360s", "720s", "1440s", "2880s"],
-        &rows,
-    );
-
-    // (b) Mechanism vs ideal.
-    let mut rows = Vec::new();
-    for &lam in &lambdas {
-        let (mut mech, mut ideal) = (Vec::new(), Vec::new());
-        for &s in &seeds {
-            let trace = generate(&TraceConfig::continuous_single(lam, num_jobs, s), &oracle);
-            let cfg = SimConfig::new(cluster_simulated());
-            mech.push(run_avg_jct(&MaxMinFairness::new(), &trace, &cfg));
-            let mut icfg = SimConfig::new(cluster_simulated());
-            icfg.ideal_execution = true;
-            ideal.push(run_avg_jct(&MaxMinFairness::new(), &trace, &icfg));
-        }
-        rows.push(vec![
-            format!("{lam:.1}"),
-            format!("{:.1}", mean(&mech)),
-            format!("{:.1}", mean(&ideal)),
-        ]);
-    }
-    print_table(
-        "Figure 13b: mechanism (360 s rounds) vs ideal fluid execution",
-        &["jobs/hr", "Gavel", "Gavel (ideal)"],
-        &rows,
-    );
-    println!(
-        "\nShape check (paper): shorter rounds track the computed allocation more \
-         closely (lower JCT); at 360 s the mechanism is nearly indistinguishable \
-         from the ideal baseline."
-    );
+    gavel_experiments::figs::fig13_mechanism::run(gavel_experiments::Scale::from_args());
 }

@@ -4,61 +4,6 @@
 //!
 //! Run: `cargo run --release -p gavel-experiments --bin fig14_estimator`
 
-use gavel_experiments::{mean, print_table, run_avg_jct, Scale};
-use gavel_policies::MaxMinFairness;
-use gavel_sim::SimConfig;
-use gavel_workloads::{cluster_twelve, generate, Oracle, TraceConfig};
-
 fn main() {
-    let scale = Scale::from_args();
-    let num_jobs = scale.pick(40, 90, 250);
-    let lambdas: Vec<f64> = match scale {
-        Scale::Quick => vec![0.2, 0.4],
-        Scale::Standard => vec![0.2, 0.4, 0.6, 0.8],
-        Scale::Full => vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
-    };
-    let seeds: Vec<u64> = (0..scale.pick(1, 2, 3)).collect();
-    let oracle = Oracle::new();
-
-    let mut rows = Vec::new();
-    for &lam in &lambdas {
-        let mut cells = vec![format!("{lam:.1}")];
-        for mode in ["oracle", "estimated", "no-ss"] {
-            let jcts: Vec<f64> = seeds
-                .iter()
-                .map(|&s| {
-                    let trace =
-                        generate(&TraceConfig::continuous_single(lam, num_jobs, s), &oracle);
-                    let mut cfg = SimConfig::new(cluster_twelve());
-                    let policy = match mode {
-                        "no-ss" => MaxMinFairness::new(),
-                        _ => {
-                            cfg = cfg.with_space_sharing();
-                            cfg.estimate_pair_throughputs = mode == "estimated";
-                            cfg.seed = s;
-                            MaxMinFairness::with_space_sharing()
-                        }
-                    };
-                    run_avg_jct(&policy, &trace, &cfg)
-                })
-                .collect();
-            cells.push(format!("{:.1}", mean(&jcts)));
-        }
-        rows.push(cells);
-    }
-    print_table(
-        "Figure 14: average JCT (hours) on the 12-GPU cluster",
-        &[
-            "jobs/hr",
-            "Gavel w/ SS (Oracle)",
-            "Gavel w/ SS (Estimated)",
-            "Gavel",
-        ],
-        &rows,
-    );
-    println!(
-        "\nShape check (paper): estimated throughputs track the oracle closely \
-         (small JCT increase at high load); both space-sharing variants beat \
-         plain LAS once the cluster is contended."
-    );
+    gavel_experiments::figs::fig14_estimator::run(gavel_experiments::Scale::from_args());
 }

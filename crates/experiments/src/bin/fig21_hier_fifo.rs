@@ -5,105 +5,6 @@
 //!
 //! Run: `cargo run --release -p gavel-experiments --bin fig21_hier_fifo`
 
-use gavel_core::{Policy, PolicyInput, PolicyJob};
-use gavel_experiments::print_table;
-use gavel_policies::{EntityPolicy, Hierarchical};
-use gavel_workloads::{
-    build_singleton_tensor, cluster_small, generate, JobSpec, Oracle, TraceConfig,
-};
-
 fn main() {
-    let oracle = Oracle::new();
-    let cluster = cluster_small();
-    let entity_weights = vec![1.0, 2.0, 3.0];
-    let trace = generate(&TraceConfig::static_single(18, 77), &oracle);
-    let policy = Hierarchical::new(entity_weights, EntityPolicy::Fifo);
-
-    let mut rows = Vec::new();
-    for step in 0..22usize {
-        let n = (step + 1).min(18);
-        let active = &trace[..n];
-        let specs: Vec<JobSpec> = active
-            .iter()
-            .map(|t| JobSpec {
-                id: t.id,
-                config: t.config,
-                scale_factor: 1,
-            })
-            .collect();
-        let (combos, tensor) = build_singleton_tensor(&oracle, &specs, true);
-        let jobs: Vec<PolicyJob> = active
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mut j = PolicyJob::simple(t.id, 1e12);
-                j.entity = Some(i / 6);
-                j.arrival_seq = i as u64;
-                j
-            })
-            .collect();
-        let input = PolicyInput {
-            jobs: &jobs,
-            combos: &combos,
-            tensor: &tensor,
-            cluster: &cluster,
-        };
-        let alloc = policy.compute_allocation(&input).expect("allocation");
-
-        // Per-entity share plus how concentrated it is on the entity's
-        // FIFO head job.
-        let x_eq = gavel_core::x_equal(&cluster);
-        let norm: Vec<f64> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| {
-                let t = alloc.effective_throughput(&tensor, j.id);
-                let full = gavel_core::refs::throughput_under(&tensor, i, &x_eq);
-                if full > 0.0 {
-                    t / full
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let total: f64 = norm.iter().sum::<f64>().max(1e-12);
-        let mut cells = vec![(step * 4).to_string(), n.to_string()];
-        for e in 0..3usize {
-            let members: Vec<usize> = (0..n).filter(|&i| i / 6 == e).collect();
-            if members.is_empty() {
-                cells.push("-".into());
-                cells.push("-".into());
-                continue;
-            }
-            let entity_total: f64 = members.iter().map(|&i| norm[i]).sum();
-            let head = members[0];
-            let head_frac = if entity_total > 1e-9 {
-                norm[head] / entity_total
-            } else {
-                0.0
-            };
-            cells.push(format!("{:.2}", entity_total / total));
-            cells.push(format!("{:.2}", head_frac));
-        }
-        rows.push(cells);
-    }
-    print_table(
-        "Figure 21: hierarchical fairness + FIFO-within-entity timeline",
-        &[
-            "timestep",
-            "jobs",
-            "e0 share",
-            "e0 head frac",
-            "e1 share",
-            "e1 head frac",
-            "e2 share",
-            "e2 head frac",
-        ],
-        &rows,
-    );
-    println!(
-        "\nShape check (paper): entity shares respect the 1:2:3 weights while \
-         each entity's earliest job holds (nearly) its entire share; later jobs \
-         in low-weight entities receive nothing under high load."
-    );
+    gavel_experiments::figs::fig21_hier_fifo::run(gavel_experiments::Scale::from_args());
 }

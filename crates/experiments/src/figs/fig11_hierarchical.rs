@@ -1,0 +1,88 @@
+//! Figure 11: multi-level fairness timeline on a small 9-GPU cluster
+//! (3 V100, 3 P100, 3 K80). 18 jobs arrive one every 4 timesteps: jobs
+//! 1-6 belong to entity 0 (weight 1), jobs 7-12 to entity 1 (weight 2),
+//! jobs 13-18 to entity 2 (weight 3).
+//!
+//! (a) Fraction of total effective throughput per entity over time —
+//!     fairness holds both across entities (proportional to weights) and
+//!     within entities (equal split).
+//! (b) Total effective throughput: heterogeneity-aware hierarchical policy
+//!     vs a heterogeneity-agnostic static partition.
+//!
+//! Run: `cargo run --release -p gavel-experiments --bin fig11_hierarchical`
+
+use crate::figs::hier_timeline::{self, TimelineStep, ENTITY_WEIGHTS};
+use crate::print_table;
+use gavel_policies::EntityPolicy;
+
+pub fn run(_scale: crate::Scale) {
+    let steps = hier_timeline::run(EntityPolicy::Fairness);
+    let total_workers = hier_timeline::cluster_total_workers() as f64;
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    for step in &steps {
+        let total: f64 = step.norm.iter().sum();
+        let mut entity_frac = [0.0f64; 3];
+        for (i, &t) in step.norm.iter().enumerate() {
+            entity_frac[TimelineStep::entity(i)] += t / total.max(1e-12);
+        }
+        rows_a.push(vec![
+            step.timestep.to_string(),
+            step.n.to_string(),
+            format!("{:.2}", entity_frac[0]),
+            format!("{:.2}", entity_frac[1]),
+            format!("{:.2}", entity_frac[2]),
+        ]);
+
+        // (b) Heterogeneity-agnostic static partition: each entity owns a
+        // weight-proportional slice of every GPU type, split equally among
+        // its jobs and spread uniformly across types. In normalized units a
+        // job's throughput equals its (capped) time share.
+        let weight_sum: f64 = (0..3)
+            .filter(|&e| !step.members(e).is_empty())
+            .map(|e| ENTITY_WEIGHTS[e])
+            .sum();
+        let mut static_total = 0.0;
+        for (e, weight) in ENTITY_WEIGHTS.iter().enumerate() {
+            let members = step.members(e).len();
+            if members == 0 {
+                continue;
+            }
+            let entity_share = weight / weight_sum;
+            let per_job_time = (entity_share * total_workers / members as f64).min(1.0);
+            static_total += per_job_time * members as f64;
+        }
+        rows_b.push(vec![
+            step.timestep.to_string(),
+            format!("{:.2}", total),
+            format!("{:.2}", static_total),
+        ]);
+    }
+
+    print_table(
+        "Figure 11a: fraction of total effective throughput per entity",
+        &[
+            "timestep",
+            "jobs",
+            "entity 0 (w=1)",
+            "entity 1 (w=2)",
+            "entity 2 (w=3)",
+        ],
+        &rows_a,
+    );
+    print_table(
+        "Figure 11b: total normalized effective throughput",
+        &[
+            "timestep",
+            "multi-level (het-aware)",
+            "static partition (agnostic)",
+        ],
+        &rows_b,
+    );
+    println!(
+        "\nShape check (paper): entity shares converge to the 1:2:3 weight ratio \
+         as jobs fill in, and the heterogeneity-aware policy's total throughput \
+         exceeds the static partition (paper: ~17% higher)."
+    );
+}

@@ -1,0 +1,113 @@
+//! Shared driver for the hierarchical-policy timelines (Figures 11 and
+//! 21): 18 long-running single-worker jobs on the small 9-GPU cluster,
+//! arriving one per 4-second timestep, entity = job index / 6, entity
+//! weights 1:2:3. Each figure consumes the per-step normalized
+//! throughputs with its own reporting.
+
+use gavel_core::{Policy, PolicyInput, PolicyJob};
+use gavel_policies::{EntityPolicy, Hierarchical};
+use gavel_workloads::{
+    build_singleton_tensor, cluster_small, generate, JobSpec, Oracle, TraceConfig,
+};
+
+/// Entity weights of the timeline experiments (entities 0, 1, 2).
+pub const ENTITY_WEIGHTS: [f64; 3] = [1.0, 2.0, 3.0];
+
+/// Jobs per entity (18 jobs / 3 entities).
+pub const JOBS_PER_ENTITY: usize = 6;
+
+/// One timeline step: the allocation the policy computed for the jobs
+/// active at that point.
+pub struct TimelineStep {
+    /// Figure x-axis timestep (4 seconds per arrival).
+    pub timestep: usize,
+    /// Number of active jobs.
+    pub n: usize,
+    /// Per-job effective throughput normalized to full time at the
+    /// cluster's equal mix (index = arrival order).
+    pub norm: Vec<f64>,
+}
+
+impl TimelineStep {
+    /// Entity of the job at arrival index `i`.
+    pub fn entity(i: usize) -> usize {
+        i / JOBS_PER_ENTITY
+    }
+
+    /// Arrival indices of the active jobs belonging to entity `e`.
+    pub fn members(&self, e: usize) -> Vec<usize> {
+        (0..self.n).filter(|&i| Self::entity(i) == e).collect()
+    }
+}
+
+/// Runs the 22-step timeline under `Hierarchical` with the given inner
+/// per-entity policy and returns one entry per step.
+pub fn run(inner: EntityPolicy) -> Vec<TimelineStep> {
+    let oracle = Oracle::new();
+    let cluster = cluster_small();
+    // 18 long-running jobs with Table 2 configurations (deterministic).
+    let trace = generate(&TraceConfig::static_single(18, 77), &oracle);
+    let policy = Hierarchical::new(ENTITY_WEIGHTS.to_vec(), inner);
+
+    let mut steps = Vec::with_capacity(22);
+    for step in 0..22usize {
+        // One new job per timestep until all 18 have arrived.
+        let n = (step + 1).min(18);
+        let active = &trace[..n];
+        let specs: Vec<JobSpec> = active
+            .iter()
+            .map(|t| JobSpec {
+                id: t.id,
+                config: t.config,
+                scale_factor: 1,
+            })
+            .collect();
+        let (combos, tensor) = build_singleton_tensor(&oracle, &specs, true);
+        let jobs: Vec<PolicyJob> = active
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut j = PolicyJob::simple(t.id, 1e12);
+                j.entity = Some(TimelineStep::entity(i));
+                j.arrival_seq = i as u64;
+                j
+            })
+            .collect();
+        let input = PolicyInput {
+            jobs: &jobs,
+            combos: &combos,
+            tensor: &tensor,
+            cluster: &cluster,
+        };
+        let alloc = policy
+            .compute_allocation(&input)
+            .expect("hierarchical allocation");
+
+        let x_eq = gavel_core::x_equal(&cluster);
+        let norm: Vec<f64> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let t = alloc.effective_throughput(&tensor, j.id);
+                let full = gavel_core::refs::throughput_under(&tensor, i, &x_eq);
+                if full > 0.0 {
+                    t / full
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        steps.push(TimelineStep {
+            timestep: step * 4,
+            n,
+            norm,
+        });
+    }
+    steps
+}
+
+/// Total workers of the timeline's cluster (for the static-partition
+/// baseline of Figure 11b).
+pub fn cluster_total_workers() -> usize {
+    cluster_small().total_workers()
+}

@@ -1,0 +1,87 @@
+//! Table 3: end-to-end comparison on the "physical" (48-GPU) cluster and
+//! in simulation, for a continuous trace (average JCT, LAS policies) and a
+//! static trace (makespan, Gavel vs Gandiva).
+//!
+//! We have no physical GPUs: the "physical" column is the simulator in
+//! physical-fidelity mode (checkpoint overhead + throughput jitter,
+//! 20-minute rounds as in §7.2), versus the idealized simulator at
+//! 6-minute rounds (see DESIGN.md §3, substitution 1).
+//!
+//! Run: `cargo run --release -p gavel-experiments --bin table3_endtoend`
+
+use crate::{print_table, run_full, Scale};
+use gavel_policies::{AgnosticLas, GandivaPolicy, MaxMinFairness, MinMakespan};
+use gavel_sim::SimConfig;
+use gavel_workloads::{cluster_physical, generate, Oracle, TraceConfig};
+
+pub fn run(scale: Scale) {
+    let oracle = Oracle::new();
+    let continuous_jobs = scale.num_jobs(40, 80, 160);
+    let static_jobs = scale.num_jobs(40, 100, 100);
+    let lambda = 1.2; // Keeps the 48-GPU cluster busy in steady state.
+
+    let continuous = generate(
+        &TraceConfig::continuous_single(lambda, continuous_jobs, 42),
+        &oracle,
+    );
+    let static_trace = generate(&TraceConfig::static_single(static_jobs, 43), &oracle);
+
+    let phys_cfg = || {
+        let mut c = SimConfig::new(cluster_physical()).with_physical_fidelity(7);
+        c.round_seconds = 1200.0; // §7.2 uses 20-minute rounds physically.
+        c
+    };
+    let sim_cfg = || SimConfig::new(cluster_physical());
+
+    let mut rows = Vec::new();
+
+    // Continuous trace: average JCT, heterogeneity-aware vs agnostic LAS.
+    for (system, policy) in [
+        ("Gavel", &MaxMinFairness::new() as &dyn gavel_core::Policy),
+        ("Baseline LAS", &AgnosticLas::new()),
+    ] {
+        let phys = run_full(policy, &continuous, &phys_cfg());
+        let sim = run_full(policy, &continuous, &sim_cfg());
+        let warm = continuous.len() / 8;
+        rows.push(vec![
+            "Continuous".into(),
+            system.into(),
+            "Average JCT (hrs)".into(),
+            format!("{:.1}", phys.steady_state_avg_jct_hours(warm, warm)),
+            format!("{:.1}", sim.steady_state_avg_jct_hours(warm, warm)),
+        ]);
+    }
+
+    // Static trace: makespan, Gavel makespan policy vs Gandiva.
+    let gavel_mk_phys = run_full(&MinMakespan::new(), &static_trace, &phys_cfg());
+    let gavel_mk_sim = run_full(&MinMakespan::new(), &static_trace, &sim_cfg());
+    rows.push(vec![
+        "Static".into(),
+        "Gavel".into(),
+        "Makespan (hrs)".into(),
+        format!("{:.1}", gavel_mk_phys.makespan / 3600.0),
+        format!("{:.1}", gavel_mk_sim.makespan / 3600.0),
+    ]);
+    let mut ss_phys = phys_cfg().with_space_sharing();
+    ss_phys.seed = 7;
+    let ss_sim = sim_cfg().with_space_sharing();
+    let gandiva_phys = run_full(&GandivaPolicy::new(7), &static_trace, &ss_phys);
+    let gandiva_sim = run_full(&GandivaPolicy::new(7), &static_trace, &ss_sim);
+    rows.push(vec![
+        "Static".into(),
+        "Gandiva".into(),
+        "Makespan (hrs)".into(),
+        format!("{:.1}", gandiva_phys.makespan / 3600.0),
+        format!("{:.1}", gandiva_sim.makespan / 3600.0),
+    ]);
+
+    print_table(
+        "Table 3: physical(-fidelity) vs simulation",
+        &["Trace", "System", "Objective", "Physical", "Simulation"],
+        &rows,
+    );
+    println!(
+        "\nShape check: Gavel improves each objective vs its baseline (paper: up to \
+         1.4x), and physical-fidelity vs simulation agree closely (paper: < 5%)."
+    );
+}

@@ -6,6 +6,8 @@
 //! in between so each figure regenerates in minutes on a laptop while
 //! preserving the paper's qualitative shape.
 
+pub mod figs;
+
 use gavel_core::Policy;
 use gavel_sim::{SimConfig, SimResult};
 use gavel_workloads::TraceJob;
@@ -13,7 +15,10 @@ use gavel_workloads::TraceJob;
 /// Experiment scale parsed from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// Minimal smoke-scale run.
+    /// Tiny fixed-size run (4-job traces, one seed) used by the smoke
+    /// tests so every figure routine stays exercisable under `cargo test`.
+    Smoke,
+    /// Minimal quick run.
     Quick,
     /// Default: minutes per figure, shape-preserving.
     Standard,
@@ -22,10 +27,12 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--quick` / `--full` from `std::env::args`.
+    /// Parses `--smoke` / `--quick` / `--full` from `std::env::args`.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--quick") {
+        if args.iter().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else if args.iter().any(|a| a == "--quick") {
             Scale::Quick
         } else if args.iter().any(|a| a == "--full") {
             Scale::Full
@@ -34,13 +41,30 @@ impl Scale {
         }
     }
 
-    /// Picks one of three values by scale.
+    /// Picks one of three values by scale (Smoke uses the quick value).
     pub fn pick<T: Copy>(&self, quick: T, standard: T, full: T) -> T {
         match self {
-            Scale::Quick => quick,
+            Scale::Smoke | Scale::Quick => quick,
             Scale::Standard => standard,
             Scale::Full => full,
         }
+    }
+
+    /// Job count for trace-driven experiments; Smoke forces 4-job traces.
+    pub fn num_jobs(&self, quick: usize, standard: usize, full: usize) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            _ => self.pick(quick, standard, full),
+        }
+    }
+
+    /// Seeds to sweep; Smoke uses a single seed.
+    pub fn seeds(&self, quick: usize, standard: usize, full: usize) -> Vec<u64> {
+        let n = match self {
+            Scale::Smoke => 1,
+            _ => self.pick(quick, standard, full),
+        };
+        (0..n as u64).collect()
     }
 }
 

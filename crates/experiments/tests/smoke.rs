@@ -1,0 +1,38 @@
+//! Smoke tests: every experiment binary's core routine must run to
+//! completion at `Scale::Smoke`. Trace-driven figures shrink to tiny
+//! 4-job traces with a single seed; figures with fixed small inputs
+//! (fig01/fig15 tables, the fig11/fig21 18-job timelines) ignore the
+//! scale and run as-is. This keeps the 17 `fig*`/`table*`/`sec7*`
+//! binaries from silently rotting — they share the exact `run()` entry
+//! points exercised here.
+
+use gavel_experiments::{figs, Scale};
+
+macro_rules! smoke {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            figs::$name::run(Scale::Smoke);
+        }
+    )*};
+}
+
+smoke!(
+    fig01_throughputs,
+    fig08_las_single,
+    fig09_las_multi,
+    fig10_ftf_multi,
+    fig11_hierarchical,
+    fig12_scalability,
+    fig13_mechanism,
+    fig14_estimator,
+    fig15_colocation,
+    fig16_fifo_single,
+    fig17_ftf_single,
+    fig18_fifo_multi,
+    fig19_makespan,
+    fig20_las_priorities,
+    fig21_hier_fifo,
+    sec7_cost_policies,
+    table3_endtoend,
+);

@@ -400,7 +400,7 @@ mod tests {
         let sf = sf1(&jobs);
         let round_s = 360.0;
         let rounds = 300;
-        let mut steps = vec![0.0f64; 3];
+        let mut steps = [0.0f64; 3];
         for _ in 0..rounds {
             let plan = sched.plan_round(&alloc, &sf);
             for a in &plan.assignments {

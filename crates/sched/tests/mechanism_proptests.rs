@@ -60,7 +60,7 @@ proptest! {
         for _ in 0..30 {
             let plan = sched.plan_round(&alloc, &sf);
             let mut seen: HashSet<JobId> = HashSet::new();
-            let mut used = vec![0usize; 3];
+            let mut used = [0usize; 3];
             for a in &plan.assignments {
                 for job in a.combo.jobs() {
                     prop_assert!(seen.insert(job), "{job} scheduled twice");

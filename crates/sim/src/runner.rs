@@ -151,7 +151,7 @@ impl Simulator {
             };
 
             let cadence_hit = match cfg.recompute {
-                RecomputeCadence::EveryNRounds(n) => rounds as u32 % n.max(1) == 0,
+                RecomputeCadence::EveryNRounds(n) => (rounds as u32).is_multiple_of(n.max(1)),
                 _ => false,
             };
             // ThrottledResets: suppress reset-triggered recomputes until

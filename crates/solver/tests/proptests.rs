@@ -76,7 +76,7 @@ fn brute_force_max(
                     .all(|(a, b)| a.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= b + 1e-7);
             if feasible {
                 let obj: f64 = costs.iter().zip(&x).map(|(c, v)| c * v).sum();
-                if best.as_ref().map_or(true, |(bo, _)| obj > *bo) {
+                if best.as_ref().is_none_or(|(bo, _)| obj > *bo) {
                     best = Some((obj, x));
                 }
             }
@@ -88,7 +88,7 @@ fn brute_force_max(
                 return best;
             }
             i -= 1;
-            if idx[i] + 1 <= nf - (n - i) {
+            if idx[i] < nf - (n - i) {
                 idx[i] += 1;
                 for j in i + 1..n {
                     idx[j] = idx[j - 1] + 1;

@@ -18,8 +18,7 @@ fn max_min_lp(n: usize, tputs: &[f64], workers: &[usize]) -> (LpProblem, Vec<Vec
     for row in &x {
         let budget: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
         lp.add_constraint(&budget, Cmp::Le, 1.0);
-        let mut tput: Vec<(VarId, f64)> =
-            row.iter().zip(tputs).map(|(&v, &c)| (v, c)).collect();
+        let mut tput: Vec<(VarId, f64)> = row.iter().zip(tputs).map(|(&v, &c)| (v, c)).collect();
         tput.push((t, -1.0));
         lp.add_constraint(&tput, Cmp::Ge, 0.0);
     }

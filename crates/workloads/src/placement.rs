@@ -82,7 +82,7 @@ impl PlacementCluster {
     /// The physical GPU kind and placement class of virtual type `v`.
     pub fn resolve(&self, v: usize) -> (GpuKind, bool) {
         let physical_idx = v / 2;
-        let consolidated = v % 2 == 0;
+        let consolidated = v.is_multiple_of(2);
         (
             GpuKind::from_index(gavel_core::AccelIdx(physical_idx)),
             consolidated,

@@ -77,6 +77,12 @@ pub struct TraceConfig {
     pub num_jobs: usize,
     /// Worker-count mix.
     pub scale_mix: ScaleFactorMix,
+    /// Upper bound on sampled scale factors. The Microsoft mix emits jobs
+    /// of up to 8 workers, which can never be placed on clusters with
+    /// fewer than 8 workers of any single type (a Gavel job runs on one
+    /// accelerator type at a time); cap the mix when targeting such a
+    /// cluster, e.g. via [`TraceConfig::capped_for`].
+    pub max_scale_factor: u32,
     /// Duration model.
     pub duration: DurationModel,
     /// RNG seed (each sweep point uses several seeds).
@@ -90,6 +96,7 @@ impl TraceConfig {
             arrival: ArrivalProcess::Poisson { jobs_per_hour },
             num_jobs,
             scale_mix: ScaleFactorMix::SingleOnly,
+            max_scale_factor: u32::MAX,
             duration: DurationModel::default(),
             seed,
         }
@@ -101,6 +108,7 @@ impl TraceConfig {
             arrival: ArrivalProcess::Poisson { jobs_per_hour },
             num_jobs,
             scale_mix: ScaleFactorMix::Microsoft,
+            max_scale_factor: u32::MAX,
             duration: DurationModel::default(),
             seed,
         }
@@ -112,6 +120,7 @@ impl TraceConfig {
             arrival: ArrivalProcess::AllAtStart,
             num_jobs,
             scale_mix: ScaleFactorMix::SingleOnly,
+            max_scale_factor: u32::MAX,
             duration: DurationModel::default(),
             seed,
         }
@@ -123,9 +132,32 @@ impl TraceConfig {
             arrival: ArrivalProcess::AllAtStart,
             num_jobs,
             scale_mix: ScaleFactorMix::Microsoft,
+            max_scale_factor: u32::MAX,
             duration: DurationModel::default(),
             seed,
         }
+    }
+
+    /// Caps sampled scale factors at `max` (larger draws are clamped, not
+    /// re-drawn, so the rest of the trace is unchanged).
+    pub fn with_max_scale_factor(mut self, max: u32) -> Self {
+        assert!(max > 0, "scale factor cap must be positive");
+        self.max_scale_factor = max;
+        self
+    }
+
+    /// Caps scale factors at the largest job `cluster` can physically host:
+    /// the maximum worker count of any single accelerator type. A Gavel job
+    /// runs all its workers on one type at a time, so anything bigger can
+    /// never be scheduled and would sit in the queue forever.
+    pub fn capped_for(self, cluster: &gavel_core::ClusterSpec) -> Self {
+        let max = cluster
+            .types()
+            .map(|j| cluster.num_workers(j))
+            .max()
+            .unwrap_or(1)
+            .max(1) as u32;
+        self.with_max_scale_factor(max)
     }
 }
 
@@ -182,7 +214,7 @@ pub fn generate(cfg: &TraceConfig, oracle: &Oracle) -> Vec<TraceJob> {
                 t
             }
         };
-        let scale_factor = sample_scale_factor(cfg.scale_mix, &mut rng);
+        let scale_factor = sample_scale_factor(cfg.scale_mix, &mut rng).min(cfg.max_scale_factor);
         // Re-draw configurations that cannot run at this scale factor on a
         // V100 (none today, but keeps the invariant future-proof).
         let config = loop {
@@ -316,6 +348,26 @@ mod tests {
     use super::*;
 
     #[test]
+    fn scale_factor_cap_respects_cluster() {
+        let o = Oracle::new();
+        let cluster = crate::clusters::cluster_twelve(); // 4 workers per type
+        let cfg = TraceConfig::continuous_multiple(3.0, 500, 9).capped_for(&cluster);
+        assert_eq!(cfg.max_scale_factor, 4);
+        let jobs = generate(&cfg, &o);
+        assert!(jobs.iter().all(|j| j.scale_factor <= 4));
+        // Clamping must not desync the RNG stream: everything except the
+        // clamped scale factors (and the steps derived from them) matches
+        // the uncapped trace.
+        let raw = generate(&TraceConfig::continuous_multiple(3.0, 500, 9), &o);
+        assert!(raw.iter().any(|j| j.scale_factor == 8));
+        for (c, r) in jobs.iter().zip(&raw) {
+            assert_eq!(c.arrival_time, r.arrival_time);
+            assert_eq!(c.config, r.config);
+            assert_eq!(c.scale_factor, r.scale_factor.min(4));
+        }
+    }
+
+    #[test]
     fn deterministic_in_seed() {
         let o = Oracle::new();
         let cfg = TraceConfig::continuous_single(3.0, 50, 42);
@@ -426,7 +478,7 @@ mod tests {
         let jobs = generate(&cfg, &o);
         for j in &jobs {
             let m = j.duration_seconds / 60.0;
-            assert!(m >= 31.6 && m <= 10_000.0);
+            assert!((31.6..=10_000.0).contains(&m));
         }
     }
 

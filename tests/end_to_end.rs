@@ -24,7 +24,12 @@ fn headline_heterogeneity_gains() {
 #[test]
 fn every_policy_survives_a_mixed_trace() {
     let oracle = Oracle::new();
-    let trace = generate(&TraceConfig::continuous_multiple(0.8, 25, 8), &oracle);
+    // Cap scale factors at what cluster_twelve (4 workers per type) can
+    // host; the raw Microsoft mix emits 8-GPU jobs that could never run.
+    let trace = generate(
+        &TraceConfig::continuous_multiple(0.8, 25, 8).capped_for(&cluster_twelve()),
+        &oracle,
+    );
     let single_only: Vec<TraceJob> = trace
         .iter()
         .filter(|t| t.scale_factor == 1)
