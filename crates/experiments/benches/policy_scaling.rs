@@ -82,18 +82,24 @@ fn bench_policies(c: &mut Criterion) {
             });
         }
         let inst = instance(n, false);
-        let hier = Hierarchical::new(vec![1.0; 4], EntityPolicy::Fairness);
-        group.bench_with_input(BenchmarkId::new("hierarchical", n), &inst, |b, inst| {
-            b.iter(|| {
-                let input = PolicyInput {
-                    jobs: &inst.jobs,
-                    combos: &inst.combos,
-                    tensor: &inst.tensor,
-                    cluster: &inst.cluster,
-                };
-                hier.compute_allocation(&input).unwrap()
-            })
-        });
+        // Warm (basis reuse across water-filling rounds and probes, the
+        // default) vs cold (every LP from scratch): same allocations,
+        // different work.
+        for (label, warm) in [("hierarchical_warm", true), ("hierarchical_cold", false)] {
+            let hier =
+                Hierarchical::new(vec![1.0; 4], EntityPolicy::Fairness).with_warm_start(warm);
+            group.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+                b.iter(|| {
+                    let input = PolicyInput {
+                        jobs: &inst.jobs,
+                        combos: &inst.combos,
+                        tensor: &inst.tensor,
+                        cluster: &inst.cluster,
+                    };
+                    hier.compute_allocation(&input).unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -1,13 +1,21 @@
 //! Benchmarks the LP solver on the structured programs Gavel produces:
-//! max-min fairness LPs and makespan feasibility probes at several sizes.
+//! max-min fairness LPs at several sizes, solved by both engines (sparse
+//! revised simplex vs the dense tableau oracle), plus warm-vs-cold
+//! comparisons over a water-filling-style sequence of related LPs.
+//!
+//! Emits a machine-readable `BENCH_solver.json` (one JSON object per
+//! line: `group`, `id`, `median_ns`, `mad_ns`, `samples`) for the perf
+//! trajectory; override the location with `GAVEL_BENCH_JSON`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gavel_solver::{Cmp, LpProblem, Sense, VarId};
+use criterion::{BenchmarkId, Criterion};
+use gavel_solver::{Cmp, LpProblem, Sense, VarId, WarmStart};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Builds a synthetic max-min fairness LP with `n` jobs and 3 types.
-fn max_min_lp(n: usize, seed: u64) -> LpProblem {
+/// `floors` adds per-job already-achieved throughput floors, emulating a
+/// later water-filling round over the same constraint structure.
+fn max_min_lp(n: usize, seed: u64, floors: f64) -> LpProblem {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lp = LpProblem::new(Sense::Maximize);
     let x: Vec<Vec<VarId>> = (0..n)
@@ -22,11 +30,11 @@ fn max_min_lp(n: usize, seed: u64) -> LpProblem {
         // Job time budget.
         let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
         lp.add_constraint(&terms, Cmp::Le, 1.0);
-        // Normalized throughput >= t.
+        // Normalized throughput >= floor + t.
         let mut tput: Vec<(VarId, f64)> =
             row.iter().map(|&v| (v, rng.gen_range(0.5..4.0))).collect();
         tput.push((t, -1.0));
-        lp.add_constraint(&tput, Cmp::Ge, 0.0);
+        lp.add_constraint(&tput, Cmp::Ge, floors);
     }
     for j in 0..3 {
         let terms: Vec<(VarId, f64)> = x.iter().map(|row| (row[j], 1.0)).collect();
@@ -35,17 +43,62 @@ fn max_min_lp(n: usize, seed: u64) -> LpProblem {
     lp
 }
 
-fn bench_solver(c: &mut Criterion) {
+/// Revised (default) vs dense-tableau engine on the same LPs, up to the
+/// 512-job instances behind Figure 12's `Scale::Standard` sweep.
+fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
     group.sample_size(10);
-    for &n in &[16usize, 64, 256] {
-        let lp = max_min_lp(n, 7);
-        group.bench_with_input(BenchmarkId::new("max_min_lp", n), &lp, |b, lp| {
+    for &n in &[16usize, 64, 256, 512] {
+        let lp = max_min_lp(n, 7, 0.0);
+        group.bench_with_input(BenchmarkId::new("revised", n), &lp, |b, lp| {
             b.iter(|| lp.solve().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &lp, |b, lp| {
+            b.iter(|| lp.solve_dense().unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);
+/// Cold vs warm-started solves over a sequence of LPs that share one
+/// constraint structure and only raise floors — the shape of Gavel's
+/// water-filling rounds and per-job bottleneck probes.
+fn bench_warm_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_start");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        // The base solve fixes the floor level every round variant shares.
+        let base = max_min_lp(n, 11, 0.0);
+        let t_star = base.solve().unwrap().objective;
+        let rounds: Vec<LpProblem> = (0..8)
+            .map(|r| max_min_lp(n, 11, t_star * 0.1 * r as f64))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("cold", n), &rounds, |b, rounds| {
+            b.iter(|| {
+                for lp in rounds {
+                    criterion::black_box(lp.solve().unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &rounds, |b, rounds| {
+            b.iter(|| {
+                let mut cache: Option<WarmStart> = None;
+                for lp in rounds {
+                    let (sol, basis) = lp.solve_warm(cache.as_ref()).unwrap();
+                    criterion::black_box(sol);
+                    cache = Some(basis);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    // Default JSON sink for the perf trajectory; GAVEL_BENCH_JSON wins.
+    let json = std::env::var("GAVEL_BENCH_JSON").unwrap_or_else(|_| "BENCH_solver.json".into());
+    let mut criterion = Criterion::default().with_json(json);
+    bench_engines(&mut criterion);
+    bench_warm_start(&mut criterion);
+}

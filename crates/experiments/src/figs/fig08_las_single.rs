@@ -38,12 +38,12 @@ pub fn run(scale: Scale) {
         c
     };
 
-    let las: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(AgnosticLas::new());
-    let gavel: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(MaxMinFairness::new());
-    let gavel_ss: &dyn Fn(u64) -> Box<dyn Policy> =
+    let las: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(AgnosticLas::new());
+    let gavel: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(MaxMinFairness::new());
+    let gavel_ss: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) =
         &|_| Box::new(MaxMinFairness::with_space_sharing());
-    let gandiva: &dyn Fn(u64) -> Box<dyn Policy> = &|s| Box::new(GandivaPolicy::new(s));
-    let allox: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(Allox::new());
+    let gandiva: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|s| Box::new(GandivaPolicy::new(s));
+    let allox: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(Allox::new());
     let factories: Vec<NamedFactory<'_>> = vec![
         ("LAS", las),
         ("Gavel", gavel),

@@ -28,8 +28,8 @@ pub fn run(scale: Scale) {
     };
     let cfg_fn = |_: &str| SimConfig::new(cluster_simulated());
 
-    let ftf: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FtfAgnostic::new());
-    let gavel: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FinishTimeFairness::new());
+    let ftf: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(FtfAgnostic::new());
+    let gavel: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(FinishTimeFairness::new());
     let factories: Vec<NamedFactory<'_>> = vec![("FTF", ftf), ("Gavel", gavel)];
 
     jct_sweep(

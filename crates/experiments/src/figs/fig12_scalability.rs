@@ -3,9 +3,11 @@
 //! The cluster grows with the job count, as in the paper.
 //!
 //! Note on scale: the paper's cvxpy/ECOS stack reaches 2048 jobs in ~8.5
-//! minutes for hierarchical w/ SS; our from-scratch dense simplex covers
-//! the same shape (hierarchical > LAS; space sharing superlinear) up to
-//! 512 jobs by default (1024 with `--full`). See EXPERIMENTS.md.
+//! minutes for hierarchical w/ SS. The sparse revised simplex with
+//! warm-started basis reuse (`gavel-solver`) covers the paper's full range:
+//! the default sweep stops at 512 jobs to keep the figure quick, and
+//! `--full` extends it to the paper's 2048-job hierarchical-with-space-
+//! sharing point. See EXPERIMENTS.md.
 //!
 //! Run: `cargo run --release -p gavel-experiments --bin fig12_scalability`
 
@@ -23,7 +25,7 @@ pub fn run(scale: Scale) {
         Scale::Smoke => vec![4, 8],
         Scale::Quick => vec![32, 64],
         Scale::Standard => vec![32, 64, 128, 256, 512],
-        Scale::Full => vec![32, 64, 128, 256, 512, 1024],
+        Scale::Full => vec![32, 64, 128, 256, 512, 1024, 2048],
     };
     let oracle = Oracle::new();
 

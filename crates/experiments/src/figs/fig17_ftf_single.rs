@@ -26,9 +26,9 @@ pub fn run(scale: Scale) {
     };
     let cfg_fn = |_: &str| SimConfig::new(cluster_simulated());
 
-    let ftf: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FtfAgnostic::new());
-    let gavel: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FinishTimeFairness::new());
-    let allox: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(Allox::new());
+    let ftf: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(FtfAgnostic::new());
+    let gavel: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(FinishTimeFairness::new());
+    let allox: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(Allox::new());
     let factories: Vec<NamedFactory<'_>> = vec![("FTF", ftf), ("Gavel", gavel), ("AlloX", allox)];
 
     jct_sweep(

@@ -32,9 +32,10 @@ pub fn run(scale: Scale) {
         c
     };
 
-    let fifo: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FifoAgnostic::new());
-    let gavel: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FifoHet::new());
-    let gavel_ss: &dyn Fn(u64) -> Box<dyn Policy> = &|_| Box::new(FifoHet::with_space_sharing());
+    let fifo: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(FifoAgnostic::new());
+    let gavel: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) = &|_| Box::new(FifoHet::new());
+    let gavel_ss: &(dyn Fn(u64) -> Box<dyn Policy> + Sync) =
+        &|_| Box::new(FifoHet::with_space_sharing());
     let factories: Vec<NamedFactory<'_>> =
         vec![("FIFO", fifo), ("Gavel", gavel), ("Gavel w/ SS", gavel_ss)];
 

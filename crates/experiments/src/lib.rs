@@ -68,6 +68,61 @@ impl Scale {
     }
 }
 
+/// Worker-thread count for experiment sweeps: the `GAVEL_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn gavel_threads() -> usize {
+    std::env::var("GAVEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item on a scoped worker pool ([`gavel_threads`]
+/// threads; no rayon in the build image), preserving input order in the
+/// output. Falls back to a plain serial map for single-threaded pools or
+/// trivially small inputs.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = gavel_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("sweep worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
 /// Mean of a slice (0 for empty).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -155,36 +210,53 @@ pub fn short_job_threshold_seconds() -> f64 {
 
 /// A named policy factory (fresh instance per run so stateful baselines
 /// like Gandiva start clean; the seed feeds their exploration RNG).
-pub type NamedFactory<'a> = (&'a str, &'a dyn Fn(u64) -> Box<dyn Policy>);
+/// `Sync` because sweeps fan the `(λ, seed, policy)` grid out over a
+/// scoped thread pool.
+pub type NamedFactory<'a> = (&'a str, &'a (dyn Fn(u64) -> Box<dyn Policy> + Sync));
 
 /// Runs the standard "average JCT vs input job rate" sweep used by
 /// Figures 8, 9, 10, 16, 17, 18 and 20, printing one row per λ with one
 /// `mean±std` column per policy. Returns the table cells for further use.
+///
+/// The `λ x policy x seed` grid is embarrassingly parallel and runs on a
+/// [`parallel_map`] worker pool (`GAVEL_THREADS` overrides the width).
 #[allow(clippy::too_many_arguments)]
 pub fn jct_sweep(
     title: &str,
     factories: &[NamedFactory<'_>],
     lambdas: &[f64],
     seeds: &[u64],
-    trace_fn: &dyn Fn(f64, u64) -> Vec<TraceJob>,
-    cfg_fn: &dyn Fn(&str) -> SimConfig,
+    trace_fn: &(dyn Fn(f64, u64) -> Vec<TraceJob> + Sync),
+    cfg_fn: &(dyn Fn(&str) -> SimConfig + Sync),
 ) -> Vec<Vec<f64>> {
+    // Flatten the grid so the pool load-balances across the whole sweep,
+    // not just within one (λ, policy) cell.
+    let mut tasks: Vec<(f64, usize, u64)> = Vec::new();
+    for &lam in lambdas {
+        for f in 0..factories.len() {
+            for &s in seeds {
+                tasks.push((lam, f, s));
+            }
+        }
+    }
+    let jcts = parallel_map(&tasks, |&(lam, f, s)| {
+        let (name, factory) = factories[f];
+        let trace = trace_fn(lam, s);
+        let policy = factory(s);
+        run_avg_jct(policy.as_ref(), &trace, &cfg_fn(name))
+    });
+
     let mut table_rows = Vec::new();
     let mut means = Vec::new();
+    let mut cursor = 0usize;
     for &lam in lambdas {
         let mut row = vec![format!("{lam:.1}")];
         let mut mean_row = Vec::new();
-        for (name, factory) in factories {
-            let jcts: Vec<f64> = seeds
-                .iter()
-                .map(|&s| {
-                    let trace = trace_fn(lam, s);
-                    let policy = factory(s);
-                    run_avg_jct(policy.as_ref(), &trace, &cfg_fn(name))
-                })
-                .collect();
-            row.push(format!("{:.1}±{:.1}", mean(&jcts), std_dev(&jcts)));
-            mean_row.push(mean(&jcts));
+        for _ in factories {
+            let cell = &jcts[cursor..cursor + seeds.len()];
+            cursor += seeds.len();
+            row.push(format!("{:.1}±{:.1}", mean(cell), std_dev(cell)));
+            mean_row.push(mean(cell));
         }
         table_rows.push(row);
         means.push(mean_row);
@@ -242,6 +314,20 @@ mod tests {
         assert!(s.contains("p50=50"), "{s}");
         assert!(s.contains("p99=98"), "{s}");
         assert_eq!(cdf_summary(&[]), "n/a");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..128).collect();
+        let out = parallel_map(&items, |&i| i * 2);
+        assert_eq!(out, (0..128).map(|i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, |&i: &usize| i).is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(gavel_threads() >= 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! add their objective and any extra constraints.
 
 use gavel_core::{AccelIdx, Allocation, ClusterSpec, JobId, Policy, PolicyError, PolicyInput};
-use gavel_solver::{Cmp, LpProblem, Sense, VarId};
+use gavel_solver::{Cmp, LpProblem, LpSolution, Sense, VarId, WarmStart};
 
 /// The common allocation-variable block of a policy LP.
 pub(crate) struct AllocLp {
@@ -114,6 +114,27 @@ impl AllocLp {
         }
         alloc
     }
+}
+
+/// Solves `lp` through a warm-start cache slot: the previous optimal basis
+/// (if any) seeds the solve, and the cache is refreshed with the basis that
+/// comes back.
+///
+/// Policies that re-solve near-identical LPs — same variable block, same
+/// constraint shapes, drifting coefficients or right-hand sides, like the
+/// water-filling rounds and per-job bottleneck probes of
+/// [`crate::Hierarchical`] — keep one `Option<WarmStart>` per LP family and
+/// route every solve through this helper. A stale or mismatched cache entry
+/// is silently ignored by the solver (cold start), so correctness never
+/// depends on the cache; see [`WarmStart`] for the contract. Any policy
+/// holding an [`AllocLp`] can opt in the same way.
+pub(crate) fn solve_with_cache(
+    lp: &LpProblem,
+    cache: &mut Option<WarmStart>,
+) -> Result<LpSolution, gavel_solver::SolverError> {
+    let (sol, basis) = lp.solve_warm(cache.as_ref())?;
+    *cache = Some(basis);
+    Ok(sol)
 }
 
 /// Scale factor of a combo: the maximum of its members' (pairs are formed

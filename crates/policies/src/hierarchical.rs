@@ -19,9 +19,9 @@
 //! With a single entity and fairness inside, this is exactly the paper's
 //! water-filled single-level max-min fairness.
 
-use crate::common::{check_input, equal_share_throughput, solver_err, AllocLp};
+use crate::common::{check_input, equal_share_throughput, solve_with_cache, solver_err, AllocLp};
 use gavel_core::{Allocation, JobId, Policy, PolicyError, PolicyInput};
-use gavel_solver::{solve_milp, Cmp, MilpOptions, Sense, VarId};
+use gavel_solver::{solve_milp, Cmp, LpProblem, MilpOptions, Sense, VarId, WarmStart};
 
 /// Inner (per-entity) policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,15 @@ pub struct Hierarchical {
     pub bottleneck: BottleneckMethod,
     /// Safety cap on water-filling iterations.
     pub max_iterations: usize,
+    /// Reuse each LP family's optimal basis across the water-filling
+    /// rounds and per-job probes (on by default). The solver validates
+    /// every reused basis and falls back to a cold start when it no longer
+    /// applies, so objective values — and hence floors, `t*`, and
+    /// bottleneck decisions within their tolerances — never depend on this
+    /// flag; on LPs with several optimal allocations the selected vertex
+    /// may differ in principle (the equivalence tests pin down instances
+    /// where it does not). See [`gavel_solver::WarmStart`].
+    pub warm_start: bool,
     /// Inner policy assigned to entities synthesized for jobs that carry
     /// no entity (single-level mode).
     default_inner: EntityPolicy,
@@ -68,6 +77,7 @@ impl Hierarchical {
             entities: entity_weights.into_iter().map(|w| (w, inner)).collect(),
             bottleneck: BottleneckMethod::Probe,
             max_iterations: 64,
+            warm_start: true,
             default_inner: inner,
         }
     }
@@ -78,6 +88,7 @@ impl Hierarchical {
             entities,
             bottleneck: BottleneckMethod::Probe,
             max_iterations: 64,
+            warm_start: true,
             default_inner: EntityPolicy::Fairness,
         }
     }
@@ -89,6 +100,7 @@ impl Hierarchical {
             entities: Vec::new(),
             bottleneck: BottleneckMethod::Probe,
             max_iterations: 64,
+            warm_start: true,
             default_inner: EntityPolicy::Fairness,
         }
     }
@@ -96,6 +108,12 @@ impl Hierarchical {
     /// Switches the bottleneck identification method.
     pub fn with_bottleneck(mut self, method: BottleneckMethod) -> Self {
         self.bottleneck = method;
+        self
+    }
+
+    /// Enables or disables warm-started basis reuse (on by default).
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
         self
     }
 }
@@ -118,12 +136,35 @@ struct WaterFill<'i, 'a> {
     base_weights: Vec<f64>,
     /// Inner policy per entity.
     inner_of: Vec<EntityPolicy>,
+    /// Whether to reuse optimal bases across solves.
+    warm: bool,
+    /// Basis cache for the per-round joint water-filling LP.
+    round_basis: Option<WarmStart>,
+    /// Basis cache for the max-sum prepass LP of the probe method.
+    prepass_basis: Option<WarmStart>,
+    /// Basis cache shared by the per-job probe LPs (identical constraint
+    /// matrix across probes; only the objective and floors move).
+    probe_basis: Option<WarmStart>,
 }
 
 impl<'i, 'a> WaterFill<'i, 'a> {
+    /// Solves one of the water-filling LPs, warm-started from (and
+    /// refreshing) the given basis-cache slot when enabled.
+    fn solve_lp(
+        &self,
+        lp: &LpProblem,
+        cache: &mut Option<WarmStart>,
+    ) -> Result<gavel_solver::LpSolution, PolicyError> {
+        if self.warm {
+            solve_with_cache(lp, cache).map_err(solver_err)
+        } else {
+            lp.solve().map_err(solver_err)
+        }
+    }
+
     /// Builds the iteration LP: max t subject to floors and weighted rises.
     /// Returns `(t*, allocation)`.
-    fn solve_round(&self) -> Result<(f64, Allocation), PolicyError> {
+    fn solve_round(&mut self) -> Result<(f64, Allocation), PolicyError> {
         let input = self.input;
         let mut alp = AllocLp::new(input, Sense::Maximize);
         let t = alp.lp.add_var("t", 0.0, f64::INFINITY, 1.0);
@@ -139,12 +180,14 @@ impl<'i, 'a> WaterFill<'i, 'a> {
             // floor (+ w t if active) <= normalized throughput.
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
         }
-        let sol = alp.lp.solve().map_err(solver_err)?;
+        let mut cache = self.round_basis.take();
+        let sol = self.solve_lp(&alp.lp, &mut cache)?;
+        self.round_basis = cache;
         Ok((sol.value(t), alp.extract(input, &sol)))
     }
 
     /// Exact bottleneck detection by per-job probes with a max-sum prepass.
-    fn bottlenecked_probe(&self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
+    fn bottlenecked_probe(&mut self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
         let input = self.input;
         // Prepass: jointly maximize total slack above the floors. Convexity
         // guarantees any job improvable at all *can* show positive slack in
@@ -176,7 +219,9 @@ impl<'i, 'a> WaterFill<'i, 'a> {
                 .collect();
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
         }
-        let sol = alp.lp.solve().map_err(solver_err)?;
+        let mut cache = self.prepass_basis.take();
+        let sol = self.solve_lp(&alp.lp, &mut cache)?;
+        self.prepass_basis = cache;
 
         let mut bottlenecked = Vec::new();
         for (i, &m) in active.iter().enumerate() {
@@ -192,7 +237,7 @@ impl<'i, 'a> WaterFill<'i, 'a> {
 
     /// Probes whether job `m` alone can exceed its floor while all other
     /// jobs keep theirs. Returns true when improvable.
-    fn probe_single(&self, m: usize) -> Result<bool, PolicyError> {
+    fn probe_single(&mut self, m: usize) -> Result<bool, PolicyError> {
         let input = self.input;
         let mut alp = AllocLp::new(input, Sense::Maximize);
         for (m2, job) in input.jobs.iter().enumerate() {
@@ -208,7 +253,9 @@ impl<'i, 'a> WaterFill<'i, 'a> {
             }
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m2]);
         }
-        let sol = alp.lp.solve().map_err(solver_err)?;
+        let mut cache = self.probe_basis.take();
+        let sol = self.solve_lp(&alp.lp, &mut cache)?;
+        self.probe_basis = cache;
         Ok(sol.objective > self.floors[m] + 1e-5 * (1.0 + self.floors[m].abs()))
     }
 
@@ -399,6 +446,10 @@ impl Policy for Hierarchical {
             entity_of,
             base_weights,
             inner_of,
+            warm: self.warm_start,
+            round_basis: None,
+            prepass_basis: None,
+            probe_basis: None,
         };
 
         let mut best_alloc = None;

@@ -621,3 +621,152 @@ fn all_policies_return_valid_allocations_on_realistic_input() {
             .unwrap_or_else(|e| panic!("{} invalid: {e}", p.name()));
     }
 }
+
+/// Asserts two allocations are bit-identical over every (combo, type) cell.
+fn assert_alloc_bit_identical(
+    a: &gavel_core::Allocation,
+    b: &gavel_core::Allocation,
+    num_types: usize,
+    label: &str,
+) {
+    assert_eq!(
+        a.combos().len(),
+        b.combos().len(),
+        "{label}: combo counts differ"
+    );
+    for k in 0..a.combos().len() {
+        for j in 0..num_types {
+            let (va, vb) = (
+                a.get(k, gavel_core::AccelIdx(j)),
+                b.get(k, gavel_core::AccelIdx(j)),
+            );
+            assert!(
+                va.to_bits() == vb.to_bits(),
+                "{label}: cell ({k}, {j}) differs: warm {va} vs cold {vb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchical_warm_start_is_bit_identical_to_cold() {
+    // Warm-started basis reuse must not change a single bit of the final
+    // allocation across several water-filling shapes: heterogeneous
+    // throughputs, weighted jobs, multiple entities, FIFO inners. The
+    // solver only guarantees equal *objectives* (a warm solve of a
+    // degenerate LP may in principle stop at a different optimal vertex);
+    // these fixed instances pin down, as a deterministic regression
+    // property, that the warm pivot paths land on the cold vertices here.
+    let mut setups: Vec<(String, Setup, Hierarchical)> = Vec::new();
+
+    let cluster = gavel_core::ClusterSpec::new(&[("v100", 4, 4, 0.0)]);
+    let mut s = Setup::from_matrix(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]], cluster);
+    s.jobs[0].weight = 3.0;
+    setups.push(("paper-4.3".into(), s, Hierarchical::single_level()));
+
+    let mut s = Setup::from_matrix(
+        &[
+            vec![4.0, 1.0],
+            vec![3.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 1.0],
+        ],
+        one_v100_one_k80(),
+    );
+    s.jobs[0].entity = Some(0);
+    s.jobs[1].entity = Some(0);
+    s.jobs[2].entity = Some(1);
+    s.jobs[3].entity = Some(1);
+    setups.push((
+        "two-entities-het".into(),
+        s,
+        Hierarchical::new(vec![1.0, 2.0], EntityPolicy::Fairness),
+    ));
+
+    let cluster = gavel_core::ClusterSpec::new(&[("v100", 2, 2, 0.0), ("k80", 3, 3, 0.0)]);
+    let mut s = Setup::from_matrix(
+        &[
+            vec![5.0, 1.0],
+            vec![4.0, 2.0],
+            vec![3.0, 3.0],
+            vec![2.0, 1.5],
+            vec![1.0, 0.5],
+        ],
+        cluster,
+    );
+    for (i, j) in s.jobs.iter_mut().enumerate() {
+        j.entity = Some(i % 2);
+        j.arrival_seq = i as u64;
+    }
+    setups.push((
+        "mixed-inner".into(),
+        s,
+        Hierarchical::per_entity(vec![
+            (1.0, EntityPolicy::Fairness),
+            (1.0, EntityPolicy::Fifo),
+        ]),
+    ));
+
+    for (label, setup, policy) in &setups {
+        let warm = policy
+            .clone()
+            .with_warm_start(true)
+            .compute_allocation(&setup.input())
+            .unwrap();
+        let cold = policy
+            .clone()
+            .with_warm_start(false)
+            .compute_allocation(&setup.input())
+            .unwrap();
+        assert_alloc_bit_identical(&warm, &cold, setup.cluster.num_types(), label);
+    }
+}
+
+#[test]
+fn hierarchical_warm_start_is_bit_identical_on_realistic_trace() {
+    use gavel_workloads::{
+        build_tensor_with_pairs, cluster_simulated, generate, JobSpec, Oracle, PairOptions,
+        TraceConfig,
+    };
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_multiple(3.0, 20, 17), &oracle);
+    let specs: Vec<JobSpec> = trace
+        .iter()
+        .map(|t| JobSpec {
+            id: t.id,
+            config: t.config,
+            scale_factor: t.scale_factor,
+        })
+        .collect();
+    let (combos, tensor) = build_tensor_with_pairs(&oracle, &specs, true, &PairOptions::default());
+    let cluster = cluster_simulated();
+    let mut jobs: Vec<PolicyJob> = trace
+        .iter()
+        .map(|t| {
+            let mut j = PolicyJob::simple(t.id, t.total_steps);
+            j.scale_factor = t.scale_factor;
+            j.arrival_seq = t.id.0;
+            j
+        })
+        .collect();
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.entity = Some(i % 3);
+    }
+    let setup = Setup {
+        jobs,
+        combos,
+        tensor,
+        cluster,
+    };
+    let policy = Hierarchical::new(vec![1.0, 2.0, 1.0], EntityPolicy::Fairness);
+    let warm = policy
+        .clone()
+        .with_warm_start(true)
+        .compute_allocation(&setup.input())
+        .unwrap();
+    let cold = policy
+        .with_warm_start(false)
+        .compute_allocation(&setup.input())
+        .unwrap();
+    assert_alloc_bit_identical(&warm, &cold, setup.cluster.num_types(), "realistic-ss");
+}

@@ -80,6 +80,13 @@ pub struct SimResult {
     pub policy_solve_seconds: f64,
     /// Policy solve failures that fell back to the isolated split.
     pub policy_failures: usize,
+    /// Jobs whose scale factor exceeds every accelerator type's worker
+    /// count: they can never be placed on this cluster, so the simulator
+    /// rejects them at admission (completion `None`) and counts them here
+    /// instead of letting them linger as silent `unfinished` entries.
+    /// Nonzero values usually mean the trace was generated for a larger
+    /// cluster (see `TraceConfig::capped_for` for trace-level capping).
+    pub never_placeable: usize,
 }
 
 impl SimResult {
@@ -239,6 +246,7 @@ mod tests {
             recomputations: 0,
             policy_solve_seconds: 0.0,
             policy_failures: 0,
+            never_placeable: 0,
         };
         // All 10 jobs: mean of 1..=10 hours = 5.5.
         assert!((r.avg_jct_hours() - 5.5).abs() < 1e-9);

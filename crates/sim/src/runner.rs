@@ -49,6 +49,15 @@ impl Simulator {
         &self.oracle
     }
 
+    /// Whether a job of this scale factor fits on at least one accelerator
+    /// type of the configured cluster.
+    fn placeable(&self, scale_factor: u32) -> bool {
+        self.config
+            .cluster
+            .types()
+            .any(|j| self.config.cluster.num_workers(j) as u32 >= scale_factor)
+    }
+
     /// Runs `policy` over `trace`, returning per-job outcomes and
     /// aggregates.
     pub fn run(&self, policy: &dyn Policy, trace: &[TraceJob]) -> SimResult {
@@ -73,6 +82,7 @@ impl Simulator {
         let mut rounds = 0usize;
         let mut recomputations = 0usize;
         let mut policy_failures = 0usize;
+        let mut never_placeable = 0usize;
         let mut policy_seconds = 0.0f64;
         let mut busy_worker_seconds = 0.0f64;
         let mut total_cost = 0.0f64;
@@ -91,12 +101,19 @@ impl Simulator {
         });
 
         while now < cfg.max_seconds && (!pending.is_empty() || !active.is_empty()) {
-            // Admit arrivals up to the current round boundary.
+            // Admit arrivals up to the current round boundary; jobs no
+            // accelerator type can ever host are rejected and counted
+            // rather than admitted as permanently-stuck entries.
             while pending
                 .front()
                 .is_some_and(|j| j.arrival_time <= now + 1e-9)
             {
                 let t = pending.pop_front().expect("checked non-empty");
+                if !self.placeable(t.scale_factor) {
+                    never_placeable += 1;
+                    outcomes.push(unstarted_outcome(&t));
+                    continue;
+                }
                 self.admit(&mut active, t, now);
                 need_recompute = true;
             }
@@ -216,20 +233,7 @@ impl Simulator {
             outcomes.push(make_outcome(&job, None));
         }
         for t in pending {
-            let iso = t.duration_seconds;
-            outcomes.push(JobOutcome {
-                id: t.id,
-                config: t.config,
-                scale_factor: t.scale_factor,
-                arrival: t.arrival_time,
-                completion: None,
-                ideal_duration: t.duration_seconds,
-                contention_at_arrival: 0,
-                isolated_duration: iso,
-                weight: t.weight,
-                slo_deadline: t.slo_deadline(),
-                cost: 0.0,
-            });
+            outcomes.push(unstarted_outcome(&t));
         }
         outcomes.sort_by(|a, b| {
             a.arrival
@@ -260,6 +264,7 @@ impl Simulator {
             recomputations,
             policy_solve_seconds: policy_seconds,
             policy_failures,
+            never_placeable,
         }
     }
 
@@ -273,6 +278,7 @@ impl Simulator {
         let mut now = 0.0f64;
         let mut recomputations = 0usize;
         let mut policy_failures = 0usize;
+        let mut never_placeable = 0usize;
         let mut policy_seconds = 0.0f64;
         let mut busy_worker_seconds = 0.0f64;
         let mut total_cost = 0.0f64;
@@ -283,6 +289,11 @@ impl Simulator {
                 .is_some_and(|j| j.arrival_time <= now + 1e-9)
             {
                 let t = pending.pop_front().expect("checked non-empty");
+                if !self.placeable(t.scale_factor) {
+                    never_placeable += 1;
+                    outcomes.push(unstarted_outcome(&t));
+                    continue;
+                }
                 self.admit(&mut active, t, now);
             }
             if active.is_empty() {
@@ -379,6 +390,7 @@ impl Simulator {
             recomputations,
             policy_solve_seconds: policy_seconds,
             policy_failures,
+            never_placeable,
         }
     }
 
@@ -620,6 +632,24 @@ impl Simulator {
         }
         let _ = &mut index;
         completions
+    }
+}
+
+/// Outcome for a job that never started (unplaceable, or still pending at
+/// the simulation cap).
+fn unstarted_outcome(t: &TraceJob) -> JobOutcome {
+    JobOutcome {
+        id: t.id,
+        config: t.config,
+        scale_factor: t.scale_factor,
+        arrival: t.arrival_time,
+        completion: None,
+        ideal_duration: t.duration_seconds,
+        contention_at_arrival: 0,
+        isolated_duration: t.duration_seconds,
+        weight: t.weight,
+        slo_deadline: t.slo_deadline(),
+        cost: 0.0,
     }
 }
 

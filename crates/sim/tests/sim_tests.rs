@@ -264,3 +264,48 @@ fn failure_injection_is_deterministic() {
         assert_eq!(x.completion, y.completion);
     }
 }
+
+#[test]
+fn never_placeable_jobs_are_rejected_and_counted() {
+    // An 8-GPU job on a cluster whose largest type has 2 workers can never
+    // be placed: the simulator must reject it at admission (so the run
+    // terminates when the placeable work finishes) and count it, instead
+    // of leaving a silently-stuck `unfinished` entry.
+    let mut trace = single_job_trace(3600.0);
+    let mut giant = trace[0].clone();
+    giant.id = gavel_core::JobId(1);
+    giant.scale_factor = 8;
+    giant.arrival_time = 60.0;
+    trace.push(giant);
+
+    let cfg = SimConfig::new(small_cluster());
+    let result = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    assert_eq!(result.never_placeable, 1);
+    assert_eq!(result.jobs.len(), 2);
+    let giant_outcome = result
+        .jobs
+        .iter()
+        .find(|j| j.id == gavel_core::JobId(1))
+        .unwrap();
+    assert!(giant_outcome.completion.is_none());
+    // The placeable job still finishes, and the simulation stops shortly
+    // after instead of spinning to the time cap.
+    let placed = result
+        .jobs
+        .iter()
+        .find(|j| j.id == gavel_core::JobId(0))
+        .unwrap();
+    assert!(placed.completion.is_some());
+    assert!(
+        result.makespan < cfg.max_seconds * 0.9,
+        "sim ran to the cap"
+    );
+}
+
+#[test]
+fn placeable_runs_report_zero_never_placeable() {
+    let trace = single_job_trace(1800.0);
+    let cfg = SimConfig::new(small_cluster());
+    let result = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    assert_eq!(result.never_placeable, 0);
+}

@@ -28,6 +28,13 @@ pub enum SolverError {
     },
     /// The problem references a [`crate::VarId`] that does not belong to it.
     UnknownVariable,
+    /// The revised simplex lost numerical control (e.g. the basis became
+    /// floating-point singular). [`crate::LpProblem`] entry points retry
+    /// such failures on the dense tableau before surfacing them.
+    Numerical {
+        /// Human-readable description of the failure site.
+        context: String,
+    },
     /// The branch-and-bound node limit was exceeded before proving
     /// optimality.
     NodeLimit {
@@ -54,6 +61,9 @@ impl fmt::Display for SolverError {
                 write!(f, "non-finite input: {context}")
             }
             SolverError::UnknownVariable => write!(f, "unknown variable id"),
+            SolverError::Numerical { context } => {
+                write!(f, "numerical failure in the revised simplex: {context}")
+            }
             SolverError::NodeLimit { nodes } => {
                 write!(
                     f,

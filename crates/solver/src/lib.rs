@@ -8,12 +8,56 @@
 //! all four building blocks without any external solver dependency:
 //!
 //! - [`LpProblem`] — a builder for linear programs with bounded variables.
-//! - [`simplex`] — a dense two-phase primal simplex with Bland's-rule
-//!   anti-cycling, used by [`LpProblem::solve`].
+//! - [`revised`] — a sparse revised simplex (CSC matrix, LU-factorized
+//!   basis with eta-file updates, BTRAN/FTRAN pricing), used by
+//!   [`LpProblem::solve`] and the warm-start entry point
+//!   [`LpProblem::solve_warm`].
+//! - [`simplex`] — the original dense two-phase tableau with Bland's-rule
+//!   anti-cycling, retained as an independent oracle
+//!   ([`LpProblem::solve_dense`]).
 //! - [`fractional`] — the Charnes–Cooper transform for maximizing a ratio of
 //!   affine functions over a polyhedron.
 //! - [`milp`] — branch-and-bound over binary variables.
 //! - [`bisect`] — a bisection driver for sequence-of-LP policies (makespan).
+//!
+//! # Solver architecture: dense vs revised
+//!
+//! Both engines consume the same sparse [`simplex::StandardForm`] produced
+//! by [`LpProblem`]'s lowering and implement the same two-phase primal
+//! simplex with identical pivot rules (Dantzig pricing, Bland's rule after
+//! a run of degenerate pivots, artificial columns banned from re-entry),
+//! so they are drop-in interchangeable:
+//!
+//! - **Revised (default).** [`revised`] stores the constraint matrix
+//!   column-major sparse and keeps a factorized basis: sparse LU with
+//!   partial pivoting plus a product-form eta file, refactorized every
+//!   [`simplex::SimplexOptions::refactor_every`] pivots. Per-iteration
+//!   cost is `O(nnz)` — one BTRAN for dual prices, sparse dots for reduced
+//!   costs, one FTRAN for the ratio test. This is what every policy LP,
+//!   MILP relaxation, and fractional transform runs on.
+//! - **Dense (oracle).** [`simplex`] maintains the full
+//!   `(m + 1) x width` tableau, paying `O(m * width)` per pivot. It exists
+//!   for differential testing: the property tests pit the two engines
+//!   against each other, and setting `GAVEL_LP_CROSSCHECK=1` in debug
+//!   builds re-solves every LP densely and asserts the objectives agree.
+//!
+//! # Warm-start contract
+//!
+//! [`LpProblem::solve_warm`] returns the optimal basis as a [`WarmStart`]
+//! token alongside the solution. Feeding that token into the next solve of
+//! a *structurally identical* problem (same variable list and constraint
+//! shapes; coefficients and right-hand sides may drift, as in Gavel's
+//! water-filling rounds where floors only rise and weights zero out)
+//! skips phase 1 and resumes phase 2 from the previous vertex — often zero
+//! or a handful of pivots. Hints are validated, never trusted: a hint that
+//! no longer selects a nonsingular, primal-feasible basis is silently
+//! discarded and the solve cold-starts, and any failure along the warm
+//! path (including an unbounded verdict, which is not authoritative from
+//! a hinted basis) falls back to a cold solve on the shared pivot budget.
+//! A hint therefore never affects the feasibility/boundedness verdict or
+//! the optimal objective; the one caveat is vertex selection — when an LP
+//! has multiple optimal solutions, a warm solve may legitimately return a
+//! different optimal vertex than a cold solve would.
 //!
 //! # Examples
 //!
@@ -32,16 +76,19 @@
 //! assert!((sol[y] - 2.0).abs() < 1e-6);
 //! ```
 
+pub mod basis;
 pub mod bisect;
 pub mod error;
 pub mod fractional;
 pub mod milp;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 
 pub use bisect::{bisect_max, bisect_min};
 pub use error::SolverError;
 pub use fractional::{solve_fractional, FractionalObjective};
 pub use milp::{solve_milp, MilpOptions};
-pub use problem::{Cmp, ConstraintId, LpProblem, Sense, VarId};
-pub use simplex::{LpSolution, SolveStats};
+pub use problem::{Cmp, ConstraintId, LpProblem, Sense, VarId, WarmStart};
+pub use simplex::{LpSolution, SimplexOptions, SolveStats};

@@ -2,8 +2,9 @@
 //!
 //! [`LpProblem`] collects variables (with bounds and objective coefficients)
 //! and linear constraints, then lowers the problem to the standard form
-//! `min c'x` subject to `Ax {<=,>=,=} b, x >= 0` consumed by the simplex in
-//! [`crate::simplex`]. The lowering handles:
+//! `min c'x` subject to `Ax {<=,>=,=} b, x >= 0` consumed by the simplex
+//! engines in [`crate::revised`] (the default) and [`crate::simplex`] (the
+//! dense cross-check oracle). The lowering emits sparse rows and handles:
 //!
 //! - maximization (objective negation),
 //! - finite lower bounds (variable shifting),
@@ -12,7 +13,35 @@
 //! - free variables (split into a difference of two nonnegative variables).
 
 use crate::error::SolverError;
+use crate::revised;
 use crate::simplex::{self, LpSolution, SimplexOptions, StandardForm};
+
+/// An optimal simplex basis returned by [`LpProblem::solve_warm`], reusable
+/// as a hint for the next solve of a structurally similar problem.
+///
+/// The warm-start contract: a hint is *never* required to be valid. If the
+/// next problem lowers to a different shape, or the hinted basis is
+/// singular or primal-infeasible under the new data, or the warm solve
+/// fails part-way, the solver silently falls back to a cold start on the
+/// shared pivot budget. A hint thus never changes the feasibility verdict
+/// or the optimal objective; on problems with multiple optimal solutions
+/// it may steer which optimal vertex is returned.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    pub(crate) basis: Vec<usize>,
+}
+
+impl WarmStart {
+    /// Number of basic columns recorded (one per standard-form row).
+    pub fn len(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Whether the recorded basis is empty (a problem with no rows).
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_empty()
+    }
+}
 
 /// Optimization direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,20 +187,86 @@ impl LpProblem {
 
     /// Solves the problem with default simplex options.
     ///
-    /// Returns the optimal solution, or a [`SolverError`] describing
-    /// infeasibility, unboundedness, or numerical failure.
+    /// Runs the sparse revised simplex ([`crate::revised`]). Returns the
+    /// optimal solution, or a [`SolverError`] describing infeasibility,
+    /// unboundedness, or numerical failure.
     pub fn solve(&self) -> Result<LpSolution, SolverError> {
         self.solve_with(&SimplexOptions::default())
     }
 
     /// Solves the problem with explicit simplex options.
     pub fn solve_with(&self, opts: &SimplexOptions) -> Result<LpSolution, SolverError> {
+        let (sol, _) = self.solve_warm_with(None, opts)?;
+        Ok(sol)
+    }
+
+    /// Solves with an optional warm-start hint (default options), returning
+    /// the optimal basis alongside the solution for the next solve.
+    ///
+    /// Pass the [`WarmStart`] from a previous solve of a structurally
+    /// identical problem (same variables in the same order, same
+    /// constraint shapes — coefficients and right-hand sides may differ)
+    /// to skip phase 1 and resume phase 2 from the old vertex. Unusable
+    /// hints are ignored; see [`WarmStart`].
+    pub fn solve_warm(
+        &self,
+        hint: Option<&WarmStart>,
+    ) -> Result<(LpSolution, WarmStart), SolverError> {
+        self.solve_warm_with(hint, &SimplexOptions::default())
+    }
+
+    /// [`LpProblem::solve_warm`] with explicit simplex options.
+    pub fn solve_warm_with(
+        &self,
+        hint: Option<&WarmStart>,
+        opts: &SimplexOptions,
+    ) -> Result<(LpSolution, WarmStart), SolverError> {
+        self.validate()?;
+        let lowering = self.lower()?;
+        let (raw, objective_std, stats, basis) =
+            match revised::solve_revised(&lowering.std, opts, hint.map(|h| h.basis.as_slice())) {
+                Ok(out) => (out.x, out.objective, out.stats, out.basis),
+                // Rare numerical collapse (fp-singular basis): the dense
+                // tableau needs no factorization, so retry there. The empty
+                // basis token makes the *next* warm solve cold-start.
+                Err(SolverError::Numerical { .. }) => {
+                    let (raw, obj, stats) = simplex::solve_standard(&lowering.std, opts)?;
+                    (raw, obj, stats, Vec::new())
+                }
+                Err(e) => return Err(e),
+            };
+        let values = lowering.recover(&raw);
+        // The standard form always minimizes; undo the lowering's sign and
+        // constant shifts to report the user-facing objective.
+        let mut objective = objective_std + lowering.obj_const;
+        if self.sense == Sense::Maximize {
+            objective = -objective;
+        }
+        let sol = LpSolution {
+            values,
+            objective,
+            stats,
+        };
+        #[cfg(debug_assertions)]
+        self.cross_check(&sol);
+        Ok((sol, WarmStart { basis }))
+    }
+
+    /// Solves with the dense two-phase tableau ([`crate::simplex`]) — the
+    /// original engine, kept as an independently-implemented oracle for
+    /// differential tests and debug-mode cross-checks of the revised
+    /// simplex. Not for production use: it scales as `O(m * width)` per
+    /// pivot where the revised engine pays `O(nnz)`.
+    pub fn solve_dense(&self) -> Result<LpSolution, SolverError> {
+        self.solve_dense_with(&SimplexOptions::default())
+    }
+
+    /// [`LpProblem::solve_dense`] with explicit simplex options.
+    pub fn solve_dense_with(&self, opts: &SimplexOptions) -> Result<LpSolution, SolverError> {
         self.validate()?;
         let lowering = self.lower()?;
         let (raw, objective_std, stats) = simplex::solve_standard(&lowering.std, opts)?;
         let values = lowering.recover(&raw);
-        // The standard form always minimizes; undo the lowering's sign and
-        // constant shifts to report the user-facing objective.
         let mut objective = objective_std + lowering.obj_const;
         if self.sense == Sense::Maximize {
             objective = -objective;
@@ -181,6 +276,25 @@ impl LpProblem {
             objective,
             stats,
         })
+    }
+
+    /// Debug-mode oracle: when `GAVEL_LP_CROSSCHECK` is set, re-solve with
+    /// the dense tableau and assert the engines agree on the objective.
+    #[cfg(debug_assertions)]
+    fn cross_check(&self, sol: &LpSolution) {
+        if std::env::var_os("GAVEL_LP_CROSSCHECK").is_none() {
+            return;
+        }
+        let dense = self
+            .solve_dense()
+            .expect("dense oracle failed where the revised simplex succeeded");
+        let scale = 1.0 + sol.objective.abs().max(dense.objective.abs());
+        debug_assert!(
+            (sol.objective - dense.objective).abs() <= 1e-6 * scale,
+            "revised/dense objective mismatch: {} vs {}",
+            sol.objective,
+            dense.objective,
+        );
     }
 
     fn validate(&self) -> Result<(), SolverError> {
@@ -280,31 +394,41 @@ impl LpProblem {
         let obj_const_signed = sign * obj_const;
 
         let mut rows = Vec::with_capacity(self.cons.len() + bound_rows.len());
+        let mut terms: Vec<(usize, f64)> = Vec::new();
         for c in &self.cons {
-            let mut coeffs = vec![0.0; ncols];
+            terms.clear();
             let mut rhs = c.rhs;
             for &(vi, coeff) in &c.terms {
                 match mapping[vi] {
                     VarMap::Shifted { col, shift } => {
-                        coeffs[col] += coeff;
+                        terms.push((col, coeff));
                         rhs -= coeff * shift;
                     }
                     VarMap::Mirrored { col, upper } => {
-                        coeffs[col] -= coeff;
+                        terms.push((col, -coeff));
                         rhs -= coeff * upper;
                     }
                     VarMap::Free { pos, neg } => {
-                        coeffs[pos] += coeff;
-                        coeffs[neg] -= coeff;
+                        terms.push((pos, coeff));
+                        terms.push((neg, -coeff));
                     }
                 }
             }
-            rows.push((coeffs, c.cmp, rhs));
+            // Merge duplicate columns (repeated VarIds in the input) so
+            // each row carries unique, sorted terms; drop exact zeros.
+            terms.sort_unstable_by_key(|&(col, _)| col);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+            for &(col, coeff) in &terms {
+                match merged.last_mut() {
+                    Some((last, acc)) if *last == col => *acc += coeff,
+                    _ => merged.push((col, coeff)),
+                }
+            }
+            merged.retain(|&(_, coeff)| coeff != 0.0);
+            rows.push((merged, c.cmp, rhs));
         }
         for &(col, ub) in &bound_rows {
-            let mut coeffs = vec![0.0; ncols];
-            coeffs[col] = 1.0;
-            rows.push((coeffs, Cmp::Le, ub));
+            rows.push((vec![(col, 1.0)], Cmp::Le, ub));
         }
 
         Ok(Lowering {

@@ -1,0 +1,664 @@
+//! Sparse revised simplex — the default LP engine.
+//!
+//! Solves the same standard form as the dense tableau in
+//! [`crate::simplex`], but never materializes the `(m + 1) x width`
+//! tableau. Instead it keeps:
+//!
+//! - the constraint matrix (structural + slack + artificial columns) in
+//!   CSC form ([`crate::sparse::CscMatrix`]),
+//! - a factorized basis ([`crate::basis::Basis`]: sparse LU plus an eta
+//!   file of product-form updates, refactorized every
+//!   [`SimplexOptions::refactor_every`] pivots),
+//! - the basic solution `x_B`, updated incrementally per pivot.
+//!
+//! Each iteration prices with reduced costs from one BTRAN (`Bᵀ y = c_B`)
+//! and sparse column dot products, then runs one FTRAN (`B w = a_q`) for
+//! the ratio test — `O(nnz)` per pivot instead of `O(m * width)`. The
+//! two-phase structure, Dantzig→Bland anti-cycling switch, and artificial
+//! handling mirror the dense implementation exactly, which keeps the two
+//! engines interchangeable (the dense one survives as a cross-check
+//! oracle, see [`crate::LpProblem::solve_dense`]).
+//!
+//! # Warm starts
+//!
+//! [`solve_revised`] accepts an optional basis hint — typically the
+//! optimal basis of a near-identical LP solved a moment ago (Gavel's
+//! water-filling rounds and per-job probes). When the hint still selects a
+//! nonsingular, primal-feasible basis of the *new* LP, phase 1 is skipped
+//! entirely and phase 2 resumes from that vertex; otherwise the solver
+//! silently falls back to a cold start, so a stale hint can never change
+//! the outcome, only the work done.
+
+use crate::basis::Basis;
+use crate::error::SolverError;
+use crate::problem::Cmp;
+use crate::simplex::{SimplexOptions, SolveStats, StandardForm};
+use crate::sparse::CscMatrix;
+
+/// Result of a revised-simplex solve: structural values, objective, pivot
+/// counters, and the final basis (column indices, one per row) for reuse
+/// as a warm-start hint.
+#[derive(Debug, Clone)]
+pub(crate) struct RevisedOutcome {
+    pub x: Vec<f64>,
+    pub objective: f64,
+    pub stats: SolveStats,
+    pub basis: Vec<usize>,
+}
+
+/// The standard form with slack and artificial columns made explicit.
+struct Instance {
+    /// `m x ntot` constraint matrix (structural, slack, artificial).
+    a: CscMatrix,
+    /// Nonnegative right-hand side.
+    b: Vec<f64>,
+    /// Phase-2 costs over all `ntot` columns.
+    costs: Vec<f64>,
+    /// Structural column count.
+    n: usize,
+    /// First artificial column.
+    art_start: usize,
+    ntot: usize,
+    m: usize,
+    /// Initial (identity) basis: slack for `<=` rows, artificial otherwise.
+    init_basis: Vec<usize>,
+}
+
+impl Instance {
+    fn build(lp: &StandardForm) -> Instance {
+        let m = lp.rows.len();
+        let n = lp.ncols;
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for (_, cmp, rhs) in &lp.rows {
+            match effective_cmp(*cmp, *rhs) {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+        }
+        let art_start = n + n_slack;
+        let ntot = art_start + n_art;
+
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ntot];
+        let mut b = Vec::with_capacity(m);
+        let mut init_basis = Vec::with_capacity(m);
+        let mut slack_cursor = n;
+        let mut art_cursor = art_start;
+        for (i, (terms, cmp, rhs)) in lp.rows.iter().enumerate() {
+            let sgn = if *rhs < 0.0 { -1.0 } else { 1.0 };
+            for &(j, c) in terms {
+                cols[j].push((i, sgn * c));
+            }
+            b.push(sgn * rhs);
+            match effective_cmp(*cmp, *rhs) {
+                Cmp::Le => {
+                    cols[slack_cursor].push((i, 1.0));
+                    init_basis.push(slack_cursor);
+                    slack_cursor += 1;
+                }
+                Cmp::Ge => {
+                    cols[slack_cursor].push((i, -1.0));
+                    slack_cursor += 1;
+                    cols[art_cursor].push((i, 1.0));
+                    init_basis.push(art_cursor);
+                    art_cursor += 1;
+                }
+                Cmp::Eq => {
+                    cols[art_cursor].push((i, 1.0));
+                    init_basis.push(art_cursor);
+                    art_cursor += 1;
+                }
+            }
+        }
+        let mut costs = vec![0.0; ntot];
+        costs[..n].copy_from_slice(&lp.costs);
+        Instance {
+            a: CscMatrix::from_columns(m, &cols),
+            b,
+            costs,
+            n,
+            art_start,
+            ntot,
+            m,
+            init_basis,
+        }
+    }
+}
+
+/// RHS normalization flips the comparison when the row is negated.
+fn effective_cmp(cmp: Cmp, rhs: f64) -> Cmp {
+    if rhs < 0.0 {
+        match cmp {
+            Cmp::Le => Cmp::Ge,
+            Cmp::Ge => Cmp::Le,
+            Cmp::Eq => Cmp::Eq,
+        }
+    } else {
+        cmp
+    }
+}
+
+/// Solves a standard-form LP with the revised simplex. `hint` is an
+/// optional warm-start basis (see the module docs); invalid or infeasible
+/// hints fall back to a cold start.
+pub(crate) fn solve_revised(
+    lp: &StandardForm,
+    opts: &SimplexOptions,
+    hint: Option<&[usize]>,
+) -> Result<RevisedOutcome, SolverError> {
+    let inst = Instance::build(lp);
+    let mut opts = opts.clone();
+    if opts.iter_limit == 0 {
+        opts.iter_limit = 200 * (inst.m + inst.ntot + 1) + 20_000;
+    }
+    let mut spent = SolveStats::default();
+    if let Some(hint) = hint {
+        if let Some(mut solver) = Solver::from_hint(&inst, &opts, hint) {
+            match solver.phase2() {
+                Ok(()) => return Ok(solver.extract()),
+                // Any warm-path failure invalidates only the hint, not the
+                // problem, so retry cold. That includes "unbounded": with a
+                // hinted basis that kept an artificial variable basic, the
+                // improving ray may raise the artificial — infeasible for
+                // the real LP — so only the cold verdict is authoritative.
+                // The warm attempt's pivots stay on the shared budget so a
+                // failed hint cannot double the configured iteration cap.
+                Err(_) => spent = solver.stats,
+            }
+        }
+    }
+    let mut solver = Solver::cold(&inst, &opts);
+    solver.stats = spent;
+    solver.phase1()?;
+    solver.phase2()?;
+    Ok(solver.extract())
+}
+
+struct Solver<'a> {
+    inst: &'a Instance,
+    opts: &'a SimplexOptions,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    fac: Basis,
+    x_b: Vec<f64>,
+    stats: SolveStats,
+    bland: bool,
+    degenerate_run: usize,
+}
+
+impl<'a> Solver<'a> {
+    fn cold(inst: &'a Instance, opts: &'a SimplexOptions) -> Solver<'a> {
+        let basis = inst.init_basis.clone();
+        let fac = Basis::factorize(&inst.a, &basis, opts.refactor_every, opts.pivot_tol)
+            .expect("identity start basis is nonsingular");
+        let mut in_basis = vec![false; inst.ntot];
+        for &c in &basis {
+            in_basis[c] = true;
+        }
+        Solver {
+            inst,
+            opts,
+            x_b: inst.b.clone(),
+            basis,
+            in_basis,
+            fac,
+            stats: SolveStats::default(),
+            bland: false,
+            degenerate_run: 0,
+        }
+    }
+
+    /// Builds a solver from a warm-start basis if it is structurally valid,
+    /// nonsingular, and primal feasible (with basic artificials at zero).
+    fn from_hint(
+        inst: &'a Instance,
+        opts: &'a SimplexOptions,
+        hint: &[usize],
+    ) -> Option<Solver<'a>> {
+        if hint.len() != inst.m {
+            return None;
+        }
+        let mut in_basis = vec![false; inst.ntot];
+        for &c in hint {
+            if c >= inst.ntot || in_basis[c] {
+                return None; // Out of range or repeated column.
+            }
+            in_basis[c] = true;
+        }
+        let fac = Basis::factorize(&inst.a, hint, opts.refactor_every, opts.pivot_tol)?;
+        let mut x_b = inst.b.clone();
+        fac.ftran(&mut x_b);
+        for (i, &c) in hint.iter().enumerate() {
+            if x_b[i] < -opts.feas_tol {
+                return None; // Primal infeasible under the new data.
+            }
+            // A basic artificial must sit at zero, or the point violates
+            // the real constraints even though the extended system is fine.
+            if c >= inst.art_start && x_b[i] > opts.feas_tol {
+                return None;
+            }
+        }
+        for v in &mut x_b {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        Some(Solver {
+            inst,
+            opts,
+            basis: hint.to_vec(),
+            in_basis,
+            fac,
+            x_b,
+            stats: SolveStats::default(),
+            bland: false,
+            degenerate_run: 0,
+        })
+    }
+
+    /// Phase 1: minimize the sum of artificial variables from the identity
+    /// start basis.
+    fn phase1(&mut self) -> Result<(), SolverError> {
+        if self.inst.art_start == self.inst.ntot {
+            return Ok(()); // All-slack basis is already feasible.
+        }
+        let mut costs1 = vec![0.0; self.inst.ntot];
+        for c in costs1[self.inst.art_start..].iter_mut() {
+            *c = 1.0;
+        }
+        self.pivot_loop(&costs1, 1)?;
+        let infeas: f64 = self
+            .basis
+            .iter()
+            .zip(&self.x_b)
+            .filter(|&(&c, _)| c >= self.inst.art_start)
+            .map(|(_, &v)| v)
+            .sum();
+        if infeas > self.opts.feas_tol {
+            return Err(SolverError::Infeasible);
+        }
+        self.expel_artificials()
+    }
+
+    /// Phase 2: minimize the real objective; artificials never enter.
+    fn phase2(&mut self) -> Result<(), SolverError> {
+        let costs = self.inst.costs.clone();
+        self.pivot_loop(&costs, 2)
+    }
+
+    /// Pivots artificial variables still basic at zero out of the basis
+    /// where a nonzero pivot element exists; rows without one are redundant
+    /// and keep their artificial basic at zero (it can never rise, because
+    /// that row of `B⁻¹A` is zero across all non-artificial columns).
+    fn expel_artificials(&mut self) -> Result<(), SolverError> {
+        for slot in 0..self.inst.m {
+            if self.basis[slot] < self.inst.art_start {
+                continue;
+            }
+            // rho = row `slot` of B⁻¹, so rho . a_j = (B⁻¹ a_j)[slot].
+            let rho = {
+                let mut e = vec![0.0; self.inst.m];
+                e[slot] = 1.0;
+                self.fac.btran(&mut e);
+                e
+            };
+            let entering = (0..self.inst.art_start).find(|&j| {
+                !self.in_basis[j] && self.inst.a.col_dot(j, &rho).abs() > self.opts.pivot_tol
+            });
+            if let Some(j) = entering {
+                let w = self.ftran_col(j);
+                if w[slot].abs() > self.opts.pivot_tol {
+                    self.apply_pivot(slot, j, &w)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs pivots until no entering column remains.
+    fn pivot_loop(&mut self, costs: &[f64], phase: u8) -> Result<(), SolverError> {
+        loop {
+            let total = self.stats.total_pivots();
+            if total > self.opts.iter_limit {
+                return Err(SolverError::IterationLimit { pivots: total });
+            }
+            let Some(col) = self.choose_entering(costs) else {
+                return Ok(());
+            };
+            let w = self.ftran_col(col);
+            let Some(slot) = self.choose_leaving(&w) else {
+                // Mirrors the dense engine: phase 1 is bounded below by
+                // zero, so "unbounded" there means numerical trouble;
+                // callers treat both as hard errors.
+                return Err(SolverError::Unbounded);
+            };
+            // Stability guard: a barely-eligible pivot element after a run
+            // of eta updates is usually accumulated error, not a real
+            // near-degenerate column. Refactorize and redo the iteration
+            // with exact factors before committing such a pivot.
+            if w[slot].abs() < 1e-7 && self.fac.has_updates() {
+                self.refactorize()?;
+                continue;
+            }
+            let old_val = self.x_b[slot];
+            self.apply_pivot(slot, col, &w)?;
+            if phase == 1 {
+                self.stats.pivots_phase1 += 1;
+            } else {
+                self.stats.pivots_phase2 += 1;
+            }
+            if old_val.abs() <= self.opts.pivot_tol {
+                self.degenerate_run += 1;
+                if self.degenerate_run >= self.opts.degeneracy_threshold {
+                    self.bland = true;
+                }
+            } else {
+                self.degenerate_run = 0;
+            }
+        }
+    }
+
+    /// Dantzig (most negative reduced cost) or, once cycling is suspected,
+    /// Bland (lowest index). Artificial columns never (re-)enter.
+    fn choose_entering(&mut self, costs: &[f64]) -> Option<usize> {
+        // y = B⁻ᵀ c_B: one BTRAN, then a sparse dot per nonbasic column.
+        let y = {
+            let mut cb: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
+            self.fac.btran(&mut cb);
+            cb
+        };
+        let limit = self.inst.art_start;
+        if self.bland {
+            (0..limit).find(|&j| {
+                !self.in_basis[j] && costs[j] - self.inst.a.col_dot(j, &y) < -self.opts.rc_tol
+            })
+        } else {
+            let mut best = None;
+            let mut best_rc = -self.opts.rc_tol;
+            for j in 0..limit {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let rc = costs[j] - self.inst.a.col_dot(j, &y);
+                if rc < best_rc {
+                    best_rc = rc;
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test over `w = B⁻¹ a_q`, with the dense engine's tie-breaks.
+    fn choose_leaving(&self, w: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.inst.m {
+            let a = w[i];
+            if a > self.opts.pivot_tol {
+                let ratio = self.x_b[i] / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        let tol = 1e-10 * (1.0 + br.abs());
+                        if ratio < br - tol {
+                            best = Some((i, ratio));
+                        } else if (ratio - br).abs() <= tol {
+                            if self.bland {
+                                if self.basis[i] < self.basis[bi] {
+                                    best = Some((i, ratio));
+                                }
+                            } else if a > w[bi] {
+                                best = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// FTRAN of column `j` of the constraint matrix.
+    fn ftran_col(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.inst.m];
+        for (r, v) in self.inst.a.col(j) {
+            w[r] += v;
+        }
+        self.fac.ftran(&mut w);
+        w
+    }
+
+    /// Replaces the basis column at `slot` by `col`, updating `x_B` and the
+    /// factorization (refactorizing when the eta file is full or the
+    /// product-form update is rejected).
+    fn apply_pivot(&mut self, slot: usize, col: usize, w: &[f64]) -> Result<(), SolverError> {
+        let theta = if self.x_b[slot].abs() <= 1e-12 {
+            0.0
+        } else {
+            self.x_b[slot] / w[slot]
+        };
+        for (xi, &wi) in self.x_b.iter_mut().zip(w) {
+            *xi -= theta * wi;
+        }
+        self.x_b[slot] = theta.max(0.0);
+        self.in_basis[self.basis[slot]] = false;
+        self.basis[slot] = col;
+        self.in_basis[col] = true;
+        let ok = self.fac.update(slot, w);
+        if !ok || self.fac.needs_refactor() {
+            self.refactorize()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the factorization from the current basis and recomputes
+    /// `x_B` from scratch to shed accumulated drift. Errors when the basis
+    /// has become floating-point singular — the caller surfaces that as
+    /// [`SolverError::Numerical`] and the [`crate::LpProblem`] entry points
+    /// retry on the dense oracle.
+    fn refactorize(&mut self) -> Result<(), SolverError> {
+        let fac = Basis::factorize(
+            &self.inst.a,
+            &self.basis,
+            self.opts.refactor_every,
+            self.opts.pivot_tol,
+        )
+        .or_else(|| {
+            // Ill-conditioned but maybe still usable: retry accepting any
+            // nonzero pivot before giving up.
+            Basis::factorize(&self.inst.a, &self.basis, self.opts.refactor_every, 0.0)
+        })
+        .ok_or_else(|| SolverError::Numerical {
+            context: "basis became singular on refactorization".into(),
+        })?;
+        self.fac = fac;
+        let mut x = self.inst.b.clone();
+        self.fac.ftran(&mut x);
+        for v in &mut x {
+            if *v < 0.0 && *v > -1e-9 {
+                *v = 0.0;
+            }
+        }
+        self.x_b = x;
+        Ok(())
+    }
+
+    /// Extracts structural values, the phase-2 objective, pivot counters,
+    /// and the final basis.
+    fn extract(&self) -> RevisedOutcome {
+        let mut x = vec![0.0; self.inst.n];
+        for (i, &c) in self.basis.iter().enumerate() {
+            if c < self.inst.n {
+                x[c] = self.x_b[i];
+            }
+        }
+        for v in &mut x {
+            if *v < 0.0 && *v > -1e-9 {
+                *v = 0.0;
+            }
+        }
+        let objective: f64 = self
+            .basis
+            .iter()
+            .zip(&self.x_b)
+            .map(|(&c, &v)| self.inst.costs[c] * v)
+            .sum();
+        RevisedOutcome {
+            x,
+            objective,
+            stats: self.stats,
+            basis: self.basis.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_lp(ncols: usize, costs: Vec<f64>, rows: Vec<(Vec<f64>, Cmp, f64)>) -> StandardForm {
+        let rows = rows
+            .into_iter()
+            .map(|(dense, cmp, rhs)| {
+                let terms: Vec<(usize, f64)> = dense
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c != 0.0)
+                    .collect();
+                (terms, cmp, rhs)
+            })
+            .collect();
+        StandardForm { ncols, costs, rows }
+    }
+
+    fn solve(lp: &StandardForm) -> Result<RevisedOutcome, SolverError> {
+        solve_revised(lp, &SimplexOptions::default(), None)
+    }
+
+    #[test]
+    fn matches_dense_on_basic_min() {
+        let lp = std_lp(2, vec![-1.0, -1.0], vec![(vec![1.0, 1.0], Cmp::Le, 1.0)]);
+        let out = solve(&lp).unwrap();
+        assert!((out.objective + 1.0).abs() < 1e-9);
+        assert!((out.x[0] + out.x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        let lp = std_lp(
+            2,
+            vec![1.0, 2.0],
+            vec![
+                (vec![1.0, 1.0], Cmp::Eq, 3.0),
+                (vec![1.0, 0.0], Cmp::Le, 2.0),
+            ],
+        );
+        let out = solve(&lp).unwrap();
+        assert!((out.x[0] - 2.0).abs() < 1e-8);
+        assert!((out.x[1] - 1.0).abs() < 1e-8);
+        assert!((out.objective - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        let lp = std_lp(1, vec![1.0], vec![(vec![-1.0], Cmp::Le, -2.0)]);
+        let out = solve(&lp).unwrap();
+        assert!((out.x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = std_lp(
+            1,
+            vec![0.0],
+            vec![(vec![1.0], Cmp::Ge, 2.0), (vec![1.0], Cmp::Le, 1.0)],
+        );
+        assert_eq!(solve(&lp).unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = std_lp(1, vec![-1.0], vec![(vec![-1.0], Cmp::Le, 0.0)]);
+        assert_eq!(solve(&lp).unwrap_err(), SolverError::Unbounded);
+    }
+
+    #[test]
+    fn beale_cycling_terminates() {
+        let lp = std_lp(
+            4,
+            vec![-0.75, 150.0, -0.02, 6.0],
+            vec![
+                (vec![0.25, -60.0, -0.04, 9.0], Cmp::Le, 0.0),
+                (vec![0.5, -90.0, -0.02, 3.0], Cmp::Le, 0.0),
+                (vec![0.0, 0.0, 1.0, 0.0], Cmp::Le, 1.0),
+            ],
+        );
+        let out = solve(&lp).unwrap();
+        assert!((out.objective + 0.05).abs() < 1e-9, "obj={}", out.objective);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let lp = std_lp(
+            2,
+            vec![1.0, 1.0],
+            vec![
+                (vec![1.0, 1.0], Cmp::Eq, 2.0),
+                (vec![1.0, 1.0], Cmp::Eq, 2.0),
+            ],
+        );
+        let out = solve(&lp).unwrap();
+        assert!((out.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_from_optimal_basis_is_pivot_free() {
+        let lp = std_lp(
+            2,
+            vec![-3.0, -2.0],
+            vec![
+                (vec![1.0, 1.0], Cmp::Le, 4.0),
+                (vec![1.0, 0.0], Cmp::Le, 2.0),
+            ],
+        );
+        let cold = solve(&lp).unwrap();
+        let warm = solve_revised(&lp, &SimplexOptions::default(), Some(&cold.basis)).unwrap();
+        assert_eq!(warm.stats.total_pivots(), 0);
+        assert!((warm.objective - cold.objective).abs() < 1e-12);
+        assert_eq!(warm.x, cold.x);
+    }
+
+    #[test]
+    fn warm_start_with_changed_rhs_reoptimizes() {
+        let mk = |cap: f64| {
+            std_lp(
+                2,
+                vec![-3.0, -2.0],
+                vec![
+                    (vec![1.0, 1.0], Cmp::Le, cap),
+                    (vec![1.0, 0.0], Cmp::Le, 2.0),
+                ],
+            )
+        };
+        let cold4 = solve(&mk(4.0)).unwrap();
+        // Loosen the first row: the old basis stays feasible, phase 2 only.
+        let warm6 =
+            solve_revised(&mk(6.0), &SimplexOptions::default(), Some(&cold4.basis)).unwrap();
+        let cold6 = solve(&mk(6.0)).unwrap();
+        assert!((warm6.objective - cold6.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bogus_hints_fall_back_to_cold() {
+        let lp = std_lp(2, vec![-1.0, -1.0], vec![(vec![1.0, 1.0], Cmp::Le, 1.0)]);
+        let cold = solve(&lp).unwrap();
+        for hint in [vec![], vec![0, 0], vec![99], vec![7, 7, 7]] {
+            let warm = solve_revised(&lp, &SimplexOptions::default(), Some(&hint)).unwrap();
+            assert!((warm.objective - cold.objective).abs() < 1e-12);
+        }
+    }
+}

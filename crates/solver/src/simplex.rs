@@ -12,15 +12,26 @@ use crate::problem::Cmp;
 
 /// A linear program in standard form: minimize `costs . x` subject to the
 /// rows, with `x >= 0`.
+///
+/// Rows are stored sparsely as `(column, coefficient)` terms — the policy
+/// LPs this crate serves have a handful of nonzeros per row regardless of
+/// problem size. Column indices within a row are unique and sorted (the
+/// lowering in [`crate::problem`] guarantees this); the dense tableau
+/// scatters them, the revised simplex ([`crate::revised`]) keeps them
+/// sparse end to end.
 #[derive(Debug, Clone)]
 pub struct StandardForm {
     /// Number of structural columns.
     pub ncols: usize,
     /// Objective coefficients, one per structural column.
     pub costs: Vec<f64>,
-    /// Constraint rows: dense coefficients, comparison, right-hand side.
-    pub rows: Vec<(Vec<f64>, Cmp, f64)>,
+    /// Constraint rows.
+    pub rows: Vec<StdRow>,
 }
+
+/// One standard-form row: sparse `(column, coefficient)` terms, the
+/// comparison operator, and the right-hand side.
+pub type StdRow = (Vec<(usize, f64)>, Cmp, f64);
 
 /// Tuning knobs for the simplex.
 #[derive(Debug, Clone)]
@@ -35,6 +46,9 @@ pub struct SimplexOptions {
     pub degeneracy_threshold: usize,
     /// Hard cap on total pivots across both phases (0 = automatic).
     pub iter_limit: usize,
+    /// Pivots between basis refactorizations in the revised simplex (the
+    /// eta-file length cap); ignored by the dense tableau.
+    pub refactor_every: usize,
 }
 
 impl Default for SimplexOptions {
@@ -45,6 +59,7 @@ impl Default for SimplexOptions {
             feas_tol: 1e-7,
             degeneracy_threshold: 64,
             iter_limit: 0,
+            refactor_every: 64,
         }
     }
 }
@@ -140,12 +155,12 @@ impl Tableau {
         let mut slack_cursor = n;
         let mut art_cursor = art_start;
         let mut basis = vec![usize::MAX; m];
-        for (i, (coeffs, cmp, rhs)) in lp.rows.iter().enumerate() {
+        for (i, (terms, cmp, rhs)) in lp.rows.iter().enumerate() {
             let neg = *rhs < 0.0;
             let sgn = if neg { -1.0 } else { 1.0 };
             let row = &mut data[i * width..(i + 1) * width];
-            for (j, &c) in coeffs.iter().enumerate() {
-                row[j] = sgn * c;
+            for &(j, c) in terms {
+                row[j] += sgn * c;
             }
             row[width - 1] = sgn * rhs;
             let (cmp, _) = normalize_cmp(*cmp, *rhs);
@@ -444,6 +459,17 @@ mod tests {
     use super::*;
 
     fn std_lp(ncols: usize, costs: Vec<f64>, rows: Vec<(Vec<f64>, Cmp, f64)>) -> StandardForm {
+        let rows = rows
+            .into_iter()
+            .map(|(dense, cmp, rhs)| {
+                let terms: Vec<(usize, f64)> = dense
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c != 0.0)
+                    .collect();
+                (terms, cmp, rhs)
+            })
+            .collect();
         StandardForm { ncols, costs, rows }
     }
 

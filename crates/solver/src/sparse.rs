@@ -1,0 +1,149 @@
+//! Compressed sparse column (CSC) storage for the revised simplex.
+//!
+//! The constraint matrices Gavel's policies produce are extremely sparse:
+//! an allocation variable `x[k][j]` appears in one or two per-job rows, one
+//! per-type capacity row, and a handful of floor rows — a few nonzeros per
+//! column regardless of problem size. [`CscMatrix`] stores exactly those
+//! nonzeros, column-major, so the revised simplex ([`crate::revised`]) can
+//! price columns and assemble basis matrices in time proportional to the
+//! nonzero count instead of the dense `rows x cols` product.
+
+/// A read-only sparse matrix in compressed-sparse-column form.
+#[derive(Debug, Clone)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `col_ptr[j]..col_ptr[j + 1]` indexes column `j`'s slice of
+    /// `row_idx` / `values`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a matrix from per-column `(row, value)` lists. Rows within a
+    /// column need not be sorted; duplicate rows within one column are
+    /// summed. Entries that cancel to exactly zero are kept (harmless).
+    pub fn from_columns(nrows: usize, columns: &[Vec<(usize, f64)>]) -> CscMatrix {
+        let ncols = columns.len();
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        let mut merged: Vec<(usize, f64)> = Vec::new();
+        for col in columns {
+            merged.clear();
+            merged.extend_from_slice(col);
+            merged.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < merged.len() {
+                let (r, mut v) = merged[i];
+                debug_assert!(r < nrows, "row index out of range");
+                let mut k = i + 1;
+                while k < merged.len() && merged[k].0 == r {
+                    v += merged[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+                i = k;
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Iterates the `(row, value)` nonzeros of column `j`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Number of nonzeros in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Sparse dot product `y . column_j` against a dense vector.
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (r, v) in self.col(j) {
+            acc += y[r] * v;
+        }
+        acc
+    }
+
+    /// Scatters column `j` into a dense work vector, returning the touched
+    /// row indices (for sparse resets).
+    pub fn scatter_col(&self, j: usize, work: &mut [f64], touched: &mut Vec<usize>) {
+        for (r, v) in self.col(j) {
+            if work[r] == 0.0 {
+                touched.push(r);
+            }
+            work[r] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read() {
+        let m = CscMatrix::from_columns(
+            3,
+            &[
+                vec![(0, 1.0), (2, 2.0)],
+                vec![(1, -1.0)],
+                vec![],
+                vec![(2, 0.5), (0, 3.0)],
+            ],
+        );
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.col(2).count(), 0);
+        // Column 3 is sorted by row on construction.
+        assert_eq!(m.col(3).collect::<Vec<_>>(), vec![(0, 3.0), (2, 0.5)]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CscMatrix::from_columns(2, &[vec![(1, 0.5), (1, 0.5), (0, 1.0)]]);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn col_dot_matches_dense() {
+        let m = CscMatrix::from_columns(3, &[vec![(0, 2.0), (2, -1.0)]]);
+        assert_eq!(m.col_dot(0, &[1.0, 10.0, 4.0]), 2.0 - 4.0);
+    }
+}

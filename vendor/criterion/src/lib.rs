@@ -6,14 +6,26 @@
 //! `bench_with_input` / `bench_function`, [`Bencher::iter`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Instead of criterion's statistical engine, each benchmark is timed with
-//! a short warmup followed by `sample_size` timed batches; the median batch
-//! time is printed as a nanoseconds-per-iteration figure. That keeps
-//! `cargo bench` useful for coarse before/after comparisons while staying
-//! dependency-free.
+//! Instead of criterion's statistical engine, each benchmark runs a batch
+//! of discarded warm-up iterations followed by `sample_size` timed
+//! batches, and reports the **median ± MAD** (median absolute deviation)
+//! per iteration — robust location and spread estimates that make
+//! sub-10% regressions visible without outlier rejection machinery.
+//!
+//! Knobs (all optional):
+//!
+//! - `GAVEL_BENCH_SAMPLES` — overrides the sample count globally,
+//!   including groups that hard-code `sample_size()` (default 10).
+//! - `GAVEL_BENCH_WARMUP` — overrides the discarded warm-up iteration
+//!   count (3).
+//! - `GAVEL_BENCH_JSON` (or [`Criterion::with_json`]) — appends one JSON
+//!   object per benchmark (`group`, `id`, `median_ns`, `mad_ns`,
+//!   `samples`) to the given file, for machine-readable perf trajectories.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Opaque hint preventing the optimizer from deleting a value.
@@ -52,23 +64,44 @@ impl Display for BenchmarkId {
 /// Runs closures under timing. Passed to every benchmark body.
 pub struct Bencher {
     iters: u64,
+    warmup: u64,
     /// Median per-iteration time of the last [`iter`](Bencher::iter) call.
-    last_ns_per_iter: f64,
+    last_median_ns: f64,
+    /// Median absolute deviation of the last call's samples.
+    last_mad_ns: f64,
 }
 
 impl Bencher {
-    /// Times `f`, storing the median per-iteration duration.
+    /// Times `f`: `warmup` discarded iterations, then `iters` timed ones;
+    /// stores the median and MAD of the per-iteration durations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warmup: one untimed call so lazy setup doesn't skew sample 0.
-        black_box(f());
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
         let mut samples: Vec<f64> = Vec::with_capacity(self.iters as usize);
         for _ in 0..self.iters {
             let start = Instant::now();
             black_box(f());
             samples.push(start.elapsed().as_nanos() as f64);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        self.last_ns_per_iter = samples[samples.len() / 2];
+        let med = median_of(&mut samples);
+        let mut deviations: Vec<f64> = samples.iter().map(|&s| (s - med).abs()).collect();
+        self.last_median_ns = med;
+        self.last_mad_ns = median_of(&mut deviations);
+    }
+}
+
+/// Median of a sample set (sorts in place; 0 for empty input).
+fn median_of(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
     }
 }
 
@@ -85,18 +118,31 @@ fn human_time(ns: f64) -> String {
 }
 
 const DEFAULT_SAMPLES: u64 = 10;
+const DEFAULT_WARMUP: u64 = 3;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. Ignored when
+    /// `GAVEL_BENCH_SAMPLES` is set — the environment override is global
+    /// on purpose, so hard-coded per-group sample sizes cannot silently
+    /// defeat a high-sample regression-hunting run.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = (n as u64).max(1);
+        if !self.criterion.samples_forced {
+            self.sample_size = (n as u64).max(1);
+        }
         self
     }
 
@@ -106,17 +152,9 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher {
-            iters: self.sample_size,
-            last_ns_per_iter: 0.0,
-        };
-        f(&mut b);
-        println!(
-            "bench: {}/{id:<40} {:>12}/iter ({} samples)",
-            self.name,
-            human_time(b.last_ns_per_iter),
-            self.sample_size,
-        );
+        let group = self.name.clone();
+        let samples = self.sample_size;
+        self.criterion.run_one(&group, id, samples, f);
     }
 
     /// Benchmarks `f` with a borrowed input.
@@ -149,24 +187,46 @@ impl BenchmarkGroup<'_> {
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: u64,
+    warmup: u64,
+    json_path: Option<PathBuf>,
+    /// `GAVEL_BENCH_SAMPLES` was set: the count wins over per-group
+    /// `sample_size()` calls.
+    samples_forced: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            sample_size: DEFAULT_SAMPLES,
+            sample_size: env_u64("GAVEL_BENCH_SAMPLES", DEFAULT_SAMPLES).max(1),
+            warmup: env_u64("GAVEL_BENCH_WARMUP", DEFAULT_WARMUP),
+            json_path: std::env::var_os("GAVEL_BENCH_JSON").map(PathBuf::from),
+            samples_forced: std::env::var_os("GAVEL_BENCH_SAMPLES").is_some(),
         }
     }
 }
 
 impl Criterion {
+    /// Overrides the default sample count for benchmarks outside groups
+    /// (groups carry their own [`BenchmarkGroup::sample_size`]).
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Appends one JSON record per benchmark to `path` (also reachable via
+    /// the `GAVEL_BENCH_JSON` environment variable).
+    pub fn with_json(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json_path = Some(path.into());
+        self
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -175,18 +235,56 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            iters: self.sample_size,
-            last_ns_per_iter: 0.0,
-        };
-        f(&mut b);
-        println!(
-            "bench: {id:<40} {:>12}/iter ({} samples)",
-            human_time(b.last_ns_per_iter),
-            self.sample_size,
-        );
+        let samples = self.sample_size;
+        self.run_one("", id, samples, |b| f(b));
         self
     }
+
+    fn run_one(&mut self, group: &str, id: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: samples,
+            warmup: self.warmup,
+            last_median_ns: 0.0,
+            last_mad_ns: 0.0,
+        };
+        f(&mut b);
+        let full_id = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "bench: {full_id:<48} {:>12} ± {:>10}/iter ({samples} samples, {} warmup)",
+            human_time(b.last_median_ns),
+            human_time(b.last_mad_ns),
+            self.warmup,
+        );
+        if let Some(path) = &self.json_path {
+            let record = format!(
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{},\"mad_ns\":{},\"samples\":{}}}\n",
+                escape_json(group),
+                escape_json(id),
+                b.last_median_ns,
+                b.last_mad_ns,
+                samples,
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut fh| fh.write_all(record.as_bytes()));
+            if let Err(e) = written {
+                eprintln!(
+                    "warning: could not write bench JSON to {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Declares a function that runs the listed benchmark targets.
@@ -215,9 +313,19 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn plain_criterion() -> Criterion {
+        // Tests must not depend on ambient GAVEL_BENCH_* settings.
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+            warmup: DEFAULT_WARMUP,
+            json_path: None,
+            samples_forced: false,
+        }
+    }
+
     #[test]
     fn group_benchmarks_run() {
-        let mut c = Criterion::default();
+        let mut c = plain_criterion();
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         let mut runs = 0u64;
@@ -228,12 +336,62 @@ mod tests {
             })
         });
         group.finish();
-        // 1 warmup + 3 samples.
-        assert_eq!(runs, 4);
+        // DEFAULT_WARMUP discarded warm-ups + 3 samples.
+        assert_eq!(runs, DEFAULT_WARMUP + 3);
+    }
+
+    #[test]
+    fn forced_sample_count_beats_group_setting() {
+        let mut c = plain_criterion();
+        c.sample_size = 5;
+        c.samples_forced = true;
+        let mut group = c.benchmark_group("forced");
+        group.sample_size(2); // Ignored: the env override is global.
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, DEFAULT_WARMUP + 5);
     }
 
     #[test]
     fn id_formats() {
         assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+    }
+
+    #[test]
+    fn median_and_mad() {
+        let mut xs = vec![5.0, 1.0, 9.0, 3.0, 7.0];
+        assert_eq!(median_of(&mut xs), 5.0);
+        let mut even = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median_of(&mut even), 2.5);
+        let mut dev: Vec<f64> = [5.0f64, 1.0, 9.0, 3.0, 7.0]
+            .iter()
+            .map(|&x| (x - 5.0f64).abs())
+            .collect();
+        // Deviations {0, 4, 4, 2, 2} -> sorted {0, 2, 2, 4, 4} -> MAD 2.
+        assert_eq!(median_of(&mut dev), 2.0);
+        assert_eq!(median_of(&mut []), 0.0);
+    }
+
+    #[test]
+    fn json_records_append() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        let mut c = plain_criterion().with_json(&path);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"group\":\"g\""), "{text}");
+        assert!(text.contains("\"id\":\"noop\""), "{text}");
+        assert!(text.contains("\"samples\":2"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 }
