@@ -1,14 +1,27 @@
-//! Benchmarks the LP solver on the structured programs Gavel produces:
-//! max-min fairness LPs at several sizes, solved by both engines (sparse
-//! revised simplex vs the dense tableau oracle), plus warm-vs-cold
-//! comparisons over a water-filling-style sequence of related LPs.
+//! Benchmarks the LP/MILP solver on the structured programs Gavel
+//! produces:
+//!
+//! - `solver/*` — max-min fairness LPs at several sizes, both engines
+//!   (sparse revised simplex vs the dense tableau oracle),
+//! - `rising_floor/*` — a water-filling round sequence whose floors only
+//!   rise, cold per round vs chained warm starts (the dual-simplex
+//!   reoptimization path),
+//! - `milp/*` — Appendix A.1-style bottleneck MILPs, branch-and-bound with
+//!   warm-started nodes vs cold nodes.
+//!
+//! After each timed group the warm path's counters (`dual_pivots`,
+//! `bound_flips`, `warm_hits`, `warm_falls_back`) are printed so warm-path
+//! efficacy is observable rather than inferred, and the bench **panics**
+//! if the revised engine silently fell back to the dense oracle or a
+//! rising-floor round cold-started — CI runs this at smoke scale as a
+//! regression gate.
 //!
 //! Emits a machine-readable `BENCH_solver.json` (one JSON object per
 //! line: `group`, `id`, `median_ns`, `mad_ns`, `samples`) for the perf
 //! trajectory; override the location with `GAVEL_BENCH_JSON`.
 
 use criterion::{BenchmarkId, Criterion};
-use gavel_solver::{Cmp, LpProblem, Sense, VarId, WarmStart};
+use gavel_solver::{solve_milp, Cmp, LpProblem, MilpOptions, Sense, SolveStats, VarId, WarmStart};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,6 +56,170 @@ fn max_min_lp(n: usize, seed: u64, floors: f64) -> LpProblem {
     lp
 }
 
+/// One water-filling round: `max t` for active jobs, frozen floors for
+/// bottlenecked ones, *tight* shared per-type capacity. Mirrors the LP
+/// family `Hierarchical` re-solves each round.
+fn round_lp(n: usize, tputs: &[Vec<f64>], floors: &[f64], active: &[bool]) -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x: Vec<Vec<VarId>> = (0..n)
+        .map(|m| {
+            (0..3)
+                .map(|j| lp.add_var(&format!("x_{m}_{j}"), 0.0, f64::INFINITY, 0.0))
+                .collect()
+        })
+        .collect();
+    let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+    for (m, row) in x.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&terms, Cmp::Le, 1.0);
+        let mut tput: Vec<(VarId, f64)> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, tputs[m][j]))
+            .collect();
+        if active[m] {
+            tput.push((t, -1.0));
+        }
+        lp.add_constraint(&tput, Cmp::Ge, floors[m]);
+    }
+    for j in 0..3 {
+        let terms: Vec<(VarId, f64)> = x.iter().map(|row| (row[j], 1.0)).collect();
+        lp.add_constraint(&terms, Cmp::Le, (n as f64 / 6.0).max(1.0));
+    }
+    lp
+}
+
+/// The probe-prepass LP over given floors: maximize total per-job slack
+/// above the floors, slacks boxed into `[0, 1]` as column bounds (no rows
+/// — the implicit-bound lowering keeps `m` at the constraint count).
+fn prepass_lp(n: usize, tputs: &[Vec<f64>], floors: &[f64]) -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let mut x: Vec<Vec<VarId>> = Vec::with_capacity(n);
+    for (m, t_row) in tputs.iter().enumerate().take(n) {
+        let xs: Vec<VarId> = (0..3)
+            .map(|j| lp.add_var(&format!("x_{m}_{j}"), 0.0, f64::INFINITY, 0.0))
+            .collect();
+        let s = lp.add_var(&format!("s_{m}"), 0.0, 1.0, 1.0);
+        let budget: Vec<(VarId, f64)> = xs.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget, Cmp::Le, 1.0);
+        let mut tput: Vec<(VarId, f64)> =
+            xs.iter().enumerate().map(|(j, &v)| (v, t_row[j])).collect();
+        tput.push((s, -1.0));
+        lp.add_constraint(&tput, Cmp::Ge, floors[m]);
+        x.push(xs);
+    }
+    for j in 0..3 {
+        let cap: Vec<(VarId, f64)> = x.iter().map(|row| (row[j], 1.0)).collect();
+        lp.add_constraint(&cap, Cmp::Le, (n as f64 / 6.0).max(1.0));
+    }
+    lp
+}
+
+/// Builds the fixed rising-floor round sequence for `n` jobs: the
+/// prepass LP family (the one `Hierarchical` genuinely re-solves with
+/// risen floors every round), with all floors ramping linearly toward
+/// 90% of the all-active max-min level. Feasible by construction (the
+/// max-min allocation satisfies every floor of every round), and the ramp
+/// steadily squeezes basic slack variables across their bounds — the
+/// dual-simplex reoptimization shape.
+fn rising_floor_rounds(n: usize, rounds: usize) -> Vec<LpProblem> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tputs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..3).map(|_| rng.gen_range(0.5..4.0)).collect())
+        .collect();
+    let t_all = round_lp(n, &tputs, &vec![0.0; n], &vec![true; n])
+        .solve()
+        .expect("all-active max-min is feasible")
+        .objective;
+    let mut out = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let level = 0.9 * t_all * (r + 1) as f64 / rounds as f64;
+        let floors = vec![level; n];
+        out.push(prepass_lp(n, &tputs, &floors));
+    }
+    out
+}
+
+/// Appendix A.1-style bottleneck MILP: per-job binary improvement
+/// indicators `z_m` with big-Y forcing rows over a max-min allocation
+/// block; maximizes the number of jobs that improve by at least `delta`.
+///
+/// Formulated branch-stably: the big-M rides on an auxiliary
+/// `u_m = Y (1 - z_m)` in `[0, Y]` linked by an equality row, so every
+/// row's right-hand side keeps its sign under both branch directions and
+/// each child node's lowering keeps the parent's shape — the parent basis
+/// stays reusable (dual feasible) at every node.
+fn bottleneck_milp(n: usize, seed: u64) -> (LpProblem, Vec<VarId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tputs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..3).map(|_| rng.gen_range(0.5..4.0)).collect())
+        .collect();
+    // Floors at the achieved max-min level: improving any one job by
+    // delta means stealing contested capacity from another, which is what
+    // makes the relaxation fractional and the search tree nontrivial.
+    let maxmin = round_lp(n, &tputs, &vec![0.0; n], &vec![true; n])
+        .solve()
+        .expect("max-min base is feasible");
+    let floors: Vec<f64> = (0..n)
+        .map(|m| {
+            let achieved: f64 = (0..3).map(|j| tputs[m][j] * maxmin.values[m * 3 + j]).sum();
+            0.95 * achieved
+        })
+        .collect();
+
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x: Vec<Vec<VarId>> = (0..n)
+        .map(|m| {
+            (0..3)
+                .map(|j| lp.add_var(&format!("x_{m}_{j}"), 0.0, f64::INFINITY, 0.0))
+                .collect()
+        })
+        .collect();
+    let mut zs = Vec::with_capacity(n);
+    let delta = 0.3;
+    let y = 4.0; // >= any achievable per-job throughput here
+    for (m, row) in x.iter().enumerate() {
+        let z = lp.add_var("z", 0.0, 1.0, 1.0);
+        let u = lp.add_var("u", 0.0, y, 0.0);
+        let budget: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget, Cmp::Le, 1.0);
+        let tput: Vec<(VarId, f64)> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, tputs[m][j]))
+            .collect();
+        // tput >= floor (no job drops below its water-fill level).
+        lp.add_constraint(&tput, Cmp::Ge, floors[m]);
+        // tput + u <= floor + Y  <=>  tput <= floor + Y z (z = 0 forces
+        // no improvement).
+        let mut upper = tput.clone();
+        upper.push((u, 1.0));
+        lp.add_constraint(&upper, Cmp::Le, floors[m] + y);
+        // tput + u >= floor + delta  <=>  tput >= floor + delta - Y (1-z)
+        // (z = 1 forces an improvement of at least delta).
+        let mut lower = tput;
+        lower.push((u, 1.0));
+        lp.add_constraint(&lower, Cmp::Ge, floors[m] + delta);
+        // u = Y (1 - z).
+        lp.add_constraint(&[(u, 1.0), (z, y)], Cmp::Eq, y);
+        zs.push(z);
+    }
+    for j in 0..3 {
+        let cap: Vec<(VarId, f64)> = x.iter().map(|row| (row[j], 1.0)).collect();
+        lp.add_constraint(&cap, Cmp::Le, (n as f64 / 6.0).max(1.0));
+    }
+    (lp, zs)
+}
+
+/// Panics if a solve ever escaped to the dense oracle — the CI gate for
+/// "the revised engine silently fell back on a bench instance".
+fn assert_no_dense_fallback(stats: &SolveStats, what: &str) {
+    assert_eq!(
+        stats.dense_fallbacks, 0,
+        "revised engine fell back to the dense oracle on {what}: {stats:?}"
+    );
+}
+
 /// Revised (default) vs dense-tableau engine on the same LPs, up to the
 /// 512-job instances behind Figure 12's `Scale::Standard` sweep.
 fn bench_engines(c: &mut Criterion) {
@@ -50,6 +227,8 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[16usize, 64, 256, 512] {
         let lp = max_min_lp(n, 7, 0.0);
+        let probe = lp.solve().unwrap();
+        assert_no_dense_fallback(&probe.stats, "solver/revised");
         group.bench_with_input(BenchmarkId::new("revised", n), &lp, |b, lp| {
             b.iter(|| lp.solve().unwrap())
         });
@@ -60,19 +239,45 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-/// Cold vs warm-started solves over a sequence of LPs that share one
-/// constraint structure and only raise floors — the shape of Gavel's
-/// water-filling rounds and per-job bottleneck probes.
-fn bench_warm_start(c: &mut Criterion) {
-    let mut group = c.benchmark_group("warm_start");
+/// Cold vs warm-started solves over the fixed rising-floor round
+/// sequences: the warm path must dual-reoptimize every round (no cold
+/// fallbacks, no phase 1 restarts, `dual_pivots > 0`).
+fn bench_rising_floors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rising_floor");
     group.sample_size(10);
     for &n in &[64usize, 256] {
-        // The base solve fixes the floor level every round variant shares.
-        let base = max_min_lp(n, 11, 0.0);
-        let t_star = base.solve().unwrap().objective;
-        let rounds: Vec<LpProblem> = (0..8)
-            .map(|r| max_min_lp(n, 11, t_star * 0.1 * r as f64))
-            .collect();
+        let rounds = rising_floor_rounds(n, 8);
+
+        // Counter audit outside the timed loop: chained warm solves over
+        // the sequence must never cold-start, and the dual path must fire.
+        let mut agg = SolveStats::default();
+        let mut cache: Option<WarmStart> = None;
+        for lp in &rounds {
+            let (sol, basis) = lp.solve_warm(cache.as_ref()).unwrap();
+            cache = Some(basis);
+            agg.absorb(&sol.stats);
+        }
+        assert_no_dense_fallback(&agg, "rising_floor/warm");
+        assert_eq!(
+            agg.warm_falls_back, 0,
+            "a rising-floor round fell back to a cold start: {agg:?}"
+        );
+        assert!(
+            agg.dual_pivots > 0,
+            "rising-floor sequence never took the dual path: {agg:?}"
+        );
+        println!(
+            "rising_floor/{n}: warm counters over {} rounds: \
+             dual_pivots={} bound_flips={} warm_hits={} warm_falls_back={} \
+             pivots=({} p1, {} p2)",
+            rounds.len(),
+            agg.dual_pivots,
+            agg.bound_flips,
+            agg.warm_hits,
+            agg.warm_falls_back,
+            agg.pivots_phase1,
+            agg.pivots_phase2,
+        );
 
         group.bench_with_input(BenchmarkId::new("cold", n), &rounds, |b, rounds| {
             b.iter(|| {
@@ -95,10 +300,59 @@ fn bench_warm_start(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm-started branch-and-bound (dual reoptimization from the parent
+/// basis per node) vs cold-per-node on bottleneck MILPs.
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp");
+    group.sample_size(10);
+    let warm_opts = MilpOptions::default();
+    let cold_opts = MilpOptions {
+        warm_start: false,
+        ..Default::default()
+    };
+    for &n in &[16usize, 20] {
+        let (lp, zs) = bottleneck_milp(n, 23);
+        let warm = solve_milp(&lp, &zs, &warm_opts).unwrap();
+        let cold = solve_milp(&lp, &zs, &cold_opts).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm/cold MILP objectives diverge: {} vs {}",
+            warm.objective,
+            cold.objective
+        );
+        assert_no_dense_fallback(&warm.stats, "milp/warm");
+        println!(
+            "milp/{n}: warm counters: dual_pivots={} bound_flips={} \
+             warm_hits={} warm_falls_back={} pivots=({} p1, {} p2) \
+             [cold pivots: {} p1, {} p2]",
+            warm.stats.dual_pivots,
+            warm.stats.bound_flips,
+            warm.stats.warm_hits,
+            warm.stats.warm_falls_back,
+            warm.stats.pivots_phase1,
+            warm.stats.pivots_phase2,
+            cold.stats.pivots_phase1,
+            cold.stats.pivots_phase2,
+        );
+        let input = (lp, zs);
+        group.bench_with_input(BenchmarkId::new("warm", n), &input, |b, (lp, zs)| {
+            b.iter(|| solve_milp(lp, zs, &warm_opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cold", n), &input, |b, (lp, zs)| {
+            b.iter(|| solve_milp(lp, zs, &cold_opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     // Default JSON sink for the perf trajectory; GAVEL_BENCH_JSON wins.
-    let json = std::env::var("GAVEL_BENCH_JSON").unwrap_or_else(|_| "BENCH_solver.json".into());
+    // Cargo runs benches with the package directory as cwd, so anchor the
+    // default at the workspace root where the committed trajectory lives.
+    let json = std::env::var("GAVEL_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").into());
     let mut criterion = Criterion::default().with_json(json);
     bench_engines(&mut criterion);
-    bench_warm_start(&mut criterion);
+    bench_rising_floors(&mut criterion);
+    bench_milp(&mut criterion);
 }

@@ -18,6 +18,14 @@
 //!
 //! With a single entity and fairness inside, this is exactly the paper's
 //! water-filled single-level max-min fairness.
+//!
+//! Every LP family here (round LPs, prepass, per-job probes) keeps a
+//! warm-start basis cache. The round LP is the dual-simplex showcase:
+//! floors only ever rise, which preserves dual feasibility of the previous
+//! round's basis, so step 1 re-solves by dual reoptimization rather than
+//! from scratch. The probe prepass also benefits from the bounded-variable
+//! lowering — its per-job slack variables live in `[0, 1]` as column
+//! bounds, not extra rows.
 
 use crate::common::{check_input, equal_share_throughput, solve_with_cache, solver_err, AllocLp};
 use gavel_core::{Allocation, JobId, Policy, PolicyError, PolicyInput};
@@ -56,13 +64,17 @@ pub struct Hierarchical {
     /// Safety cap on water-filling iterations.
     pub max_iterations: usize,
     /// Reuse each LP family's optimal basis across the water-filling
-    /// rounds and per-job probes (on by default). The solver validates
-    /// every reused basis and falls back to a cold start when it no longer
-    /// applies, so objective values — and hence floors, `t*`, and
-    /// bottleneck decisions within their tolerances — never depend on this
-    /// flag; on LPs with several optimal allocations the selected vertex
-    /// may differ in principle (the equivalence tests pin down instances
-    /// where it does not). See [`gavel_solver::WarmStart`].
+    /// rounds and per-job probes (on by default). Rising floors make the
+    /// previous round's basis primal infeasible but leave it *dual*
+    /// feasible (only right-hand sides move), so the round LP re-solves
+    /// through the solver's dual-simplex reoptimization path — typically a
+    /// handful of dual pivots instead of a cold two-phase solve. The
+    /// solver validates every reused basis and falls back to a cold start
+    /// when it no longer applies, so objective values — and hence floors,
+    /// `t*`, and bottleneck decisions within their tolerances — never
+    /// depend on this flag; on LPs with several optimal allocations the
+    /// selected vertex may differ in principle (the equivalence tests pin
+    /// down instances where it does not). See [`gavel_solver::WarmStart`].
     pub warm_start: bool,
     /// Inner policy assigned to entities synthesized for jobs that carry
     /// no entity (single-level mode).
@@ -219,6 +231,13 @@ impl<'i, 'a> WaterFill<'i, 'a> {
                 .collect();
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
         }
+        // The slack variables' [0, 1] ranges ride on columns: the prepass
+        // must lower to exactly one standard-form row per constraint.
+        debug_assert_eq!(
+            alp.lp.num_standard_rows().ok(),
+            Some(alp.lp.num_constraints()),
+            "prepass LP grew hidden bound rows"
+        );
         let mut cache = self.prepass_basis.take();
         let sol = self.solve_lp(&alp.lp, &mut cache)?;
         self.prepass_basis = cache;
@@ -301,6 +320,13 @@ impl<'i, 'a> WaterFill<'i, 'a> {
                 .collect();
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
         }
+        // Binary indicator bounds ride on columns, so every node
+        // relaxation keeps exactly one standard-form row per constraint.
+        debug_assert_eq!(
+            alp.lp.num_standard_rows().ok(),
+            Some(alp.lp.num_constraints()),
+            "bottleneck MILP grew hidden bound rows"
+        );
         let sol = solve_milp(&alp.lp, &z_vars, &MilpOptions::default()).map_err(solver_err)?;
         Ok(active
             .iter()

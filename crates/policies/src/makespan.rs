@@ -10,10 +10,18 @@
 //!
 //! admits a solution. Each probe is one LP feasibility solve; the paper
 //! formulates the policy identically ("a sequence of linear programs").
+//!
+//! Consecutive probes share one constraint structure and differ only in
+//! the right-hand sides `steps_m / M`, and the objective is identically
+//! zero — so *every* basis is dual feasible and the optimal basis of one
+//! probe reoptimizes the next through the solver's dual-simplex warm path
+//! (see [`gavel_solver::WarmStart`]) instead of a cold two-phase solve.
+//! Feasibility verdicts never depend on the cache; an unusable basis
+//! silently cold-starts.
 
-use crate::common::{check_input, singleton_row, AllocLp};
+use crate::common::{check_input, singleton_row, solve_with_cache, solver_err, AllocLp};
 use gavel_core::{refs, Allocation, Policy, PolicyError, PolicyInput};
-use gavel_solver::{bisect_min, Cmp, Sense, SolverError};
+use gavel_solver::{bisect_min, Cmp, Sense, SolverError, WarmStart};
 
 /// Heterogeneity-aware minimum makespan, optionally space-sharing aware.
 #[derive(Debug, Clone)]
@@ -48,8 +56,17 @@ impl MinMakespan {
     }
 
     /// Builds and solves the feasibility LP for a fixed makespan; returns
-    /// the allocation when feasible.
-    fn probe(&self, input: &PolicyInput<'_>, makespan: f64) -> Option<Allocation> {
+    /// `Ok(Some(..))` when feasible, `Ok(None)` when the makespan is
+    /// provably too small, and a hard error for anything else (a numerical
+    /// failure must not masquerade as infeasibility and inflate the
+    /// bisection result). `cache` carries the optimal basis between
+    /// bisection probes (refreshed on every feasible solve).
+    fn probe(
+        &self,
+        input: &PolicyInput<'_>,
+        makespan: f64,
+        cache: &mut Option<WarmStart>,
+    ) -> Result<Option<Allocation>, PolicyError> {
         let mut alp = AllocLp::new(input, Sense::Maximize);
         for job in input.jobs {
             let terms = alp.throughput_terms(input, job.id);
@@ -57,10 +74,10 @@ impl MinMakespan {
             alp.lp
                 .add_constraint(&terms, Cmp::Ge, job.steps_remaining / makespan);
         }
-        match alp.lp.solve() {
-            Ok(sol) => Some(alp.extract(input, &sol)),
-            Err(SolverError::Infeasible) => None,
-            Err(_) => None,
+        match solve_with_cache(&alp.lp, cache) {
+            Ok(sol) => Ok(Some(alp.extract(input, &sol))),
+            Err(SolverError::Infeasible) => Ok(None),
+            Err(e) => Err(solver_err(e)),
         }
     }
 }
@@ -106,13 +123,29 @@ impl Policy for MinMakespan {
         hi = hi.max(lo) * 1.01 + 1.0;
 
         let tol = self.tolerance * hi.max(1.0);
+        // One basis cache across the whole bisection: every probe shares
+        // the constraint structure, only the floor right-hand sides move.
+        let mut cache: Option<WarmStart> = None;
+        // `bisect_min`'s predicate cannot carry an error, so a hard solver
+        // failure parks here and surfaces after the search.
+        let mut hard_err: Option<PolicyError> = None;
         let best = bisect_min(lo.max(1e-9), hi, tol, 80, |m| {
-            self.probe(input, m).is_some()
+            if hard_err.is_some() {
+                return false;
+            }
+            match self.probe(input, m, &mut cache) {
+                Ok(alloc) => alloc.is_some(),
+                Err(e) => {
+                    hard_err = Some(e);
+                    false
+                }
+            }
         })
-        .ok_or_else(|| {
-            PolicyError::NoFeasibleAllocation("no makespan satisfies all jobs".into())
-        })?;
-        self.probe(input, best)
+        .ok_or_else(|| PolicyError::NoFeasibleAllocation("no makespan satisfies all jobs".into()));
+        if let Some(e) = hard_err {
+            return Err(e);
+        }
+        self.probe(input, best?, &mut cache)?
             .ok_or_else(|| PolicyError::Solver(Box::new(SolverError::Infeasible)))
     }
 }

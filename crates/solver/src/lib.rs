@@ -20,44 +20,81 @@
 //! - [`milp`] — branch-and-bound over binary variables.
 //! - [`bisect`] — a bisection driver for sequence-of-LP policies (makespan).
 //!
-//! # Solver architecture: dense vs revised
+//! # Solver architecture: bounded variables, dense vs revised
 //!
-//! Both engines consume the same sparse [`simplex::StandardForm`] produced
-//! by [`LpProblem`]'s lowering and implement the same two-phase primal
-//! simplex with identical pivot rules (Dantzig pricing, Bland's rule after
-//! a run of degenerate pivots, artificial columns banned from re-entry),
-//! so they are drop-in interchangeable:
+//! [`LpProblem`]'s lowering produces a sparse [`simplex::StandardForm`]
+//! `min c'x, Ax {<=,>=,=} b, 0 <= x <= u` in which finite upper bounds
+//! ride on *columns*, never as extra rows — the standard-form row count
+//! equals the user-facing constraint count exactly
+//! ([`LpProblem::num_standard_rows`]). That matters because the LPs that
+//! dominate Gavel's runtime are exactly the bounded ones: probe/prepass
+//! LPs carry per-job slack variables in `[0, 1]`, and MILP node
+//! relaxations carry binary bounds.
 //!
-//! - **Revised (default).** [`revised`] stores the constraint matrix
-//!   column-major sparse and keeps a factorized basis: sparse LU with
-//!   partial pivoting plus a product-form eta file, refactorized every
-//!   [`simplex::SimplexOptions::refactor_every`] pivots. Per-iteration
-//!   cost is `O(nnz)` — one BTRAN for dual prices, sparse dots for reduced
-//!   costs, one FTRAN for the ratio test. This is what every policy LP,
-//!   MILP relaxation, and fractional transform runs on.
-//! - **Dense (oracle).** [`simplex`] maintains the full
-//!   `(m + 1) x width` tableau, paying `O(m * width)` per pivot. It exists
-//!   for differential testing: the property tests pit the two engines
-//!   against each other, and setting `GAVEL_LP_CROSSCHECK=1` in debug
-//!   builds re-solves every LP densely and asserts the objectives agree.
+//! - **Revised (default).** [`revised`] is a *bounded-variable* two-phase
+//!   primal simplex over a column-major sparse matrix with a factorized
+//!   basis (sparse LU with partial pivoting plus a product-form eta file,
+//!   refactorized every [`simplex::SimplexOptions::refactor_every`]
+//!   pivots). Nonbasic variables rest at either bound, the ratio test is
+//!   two-sided, and an entering variable whose own bound binds first
+//!   simply *bound-flips* — no basis change at all. Per-iteration cost is
+//!   `O(nnz)` — one BTRAN for dual prices, sparse dots for reduced costs,
+//!   one FTRAN for the ratio test. This is what every policy LP, MILP
+//!   relaxation, and fractional transform runs on.
+//! - **Dense (oracle).** [`simplex`] expands finite column bounds into
+//!   explicit `<=` rows and runs the original full-tableau two-phase
+//!   method, paying `O(m * width)` per pivot. It exists for differential
+//!   testing: because it lowers bounds the *other* way, it is an
+//!   independent check on the entire bounded-variable path. The property
+//!   tests pit the two engines against each other, and setting
+//!   `GAVEL_LP_CROSSCHECK=1` in debug builds re-solves every LP densely —
+//!   cold, warm-continued, and dual-reoptimized solves alike — asserting
+//!   the objectives agree and the returned point is feasible.
 //!
-//! # Warm-start contract
+//! # Warm starts and dual reoptimization
 //!
-//! [`LpProblem::solve_warm`] returns the optimal basis as a [`WarmStart`]
-//! token alongside the solution. Feeding that token into the next solve of
-//! a *structurally identical* problem (same variable list and constraint
-//! shapes; coefficients and right-hand sides may drift, as in Gavel's
-//! water-filling rounds where floors only rise and weights zero out)
-//! skips phase 1 and resumes phase 2 from the previous vertex — often zero
-//! or a handful of pivots. Hints are validated, never trusted: a hint that
-//! no longer selects a nonsingular, primal-feasible basis is silently
-//! discarded and the solve cold-starts, and any failure along the warm
-//! path (including an unbounded verdict, which is not authoritative from
-//! a hinted basis) falls back to a cold solve on the shared pivot budget.
-//! A hint therefore never affects the feasibility/boundedness verdict or
-//! the optimal objective; the one caveat is vertex selection — when an LP
-//! has multiple optimal solutions, a warm solve may legitimately return a
-//! different optimal vertex than a cold solve would.
+//! [`LpProblem::solve_warm`] returns the optimal basis state (basic
+//! columns plus nonbasic bound sides) as a [`WarmStart`] token alongside
+//! the solution. Feeding that token into the next solve of a
+//! *structurally identical* problem (same variable list and constraint
+//! shapes; coefficients, bounds, and right-hand sides may drift) is
+//! classified into one of three paths:
+//!
+//! 1. **Primal continuation.** The old basis is still primal feasible
+//!    (e.g. only the objective moved, as in per-job probes within one
+//!    round): phase 1 is skipped and phase 2 resumes from the old vertex —
+//!    often zero pivots.
+//! 2. **Dual reoptimization.** The old basis is primal *infeasible* but
+//!    still *dual* feasible — the signature of a pure right-hand-side or
+//!    bound change: a risen water-filling floor, a tightened makespan
+//!    probe, a flipped MILP branching bound. A dual simplex phase drives
+//!    the violated basic variables back to their bounds in a handful of
+//!    pivots ([`SolveStats::dual_pivots`]), then phase 2 polishes
+//!    (usually a no-op).
+//! 3. **Cold fallback.** Anything else — shape mismatch, singular basis,
+//!    neither feasibility, or a failure part-way along a warm path —
+//!    silently cold-starts on the shared pivot budget
+//!    ([`SolveStats::warm_falls_back`]). The one warm verdict accepted
+//!    directly is an infeasibility *proof* from the dual phase (dual
+//!    unboundedness from a validated dual-feasible basis); unbounded,
+//!    iteration-limit, and numerical outcomes are never trusted warm.
+//!
+//! Hints are validated, never trusted, so a hint never affects the
+//! feasibility/boundedness verdict or the optimal objective; the one
+//! caveat is vertex selection — when an LP has multiple optimal solutions,
+//! a warm solve may legitimately return a different optimal vertex. When
+//! warm and cold solves finish at the same basis state the returned
+//! values are *bit-identical*: extraction refactorizes the canonically
+//! sorted basis, so values are a pure function of the final state, not of
+//! the pivot path.
+//!
+//! Consumers of the dual path: `gavel-policies`' hierarchical water
+//! filling routes its rising-floor round LPs and prepass/probe LPs
+//! through per-family [`WarmStart`] caches, the makespan policy chains
+//! one cache across its bisection probes (an all-zero objective makes
+//! every basis dual feasible), and [`milp`]'s branch-and-bound re-solves
+//! each node from its parent's basis — patching the node's bounds into
+//! the root's sparse instance without re-lowering.
 //!
 //! # Examples
 //!

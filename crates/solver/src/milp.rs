@@ -7,10 +7,28 @@
 //! variable. It is exact and intended for the moderate instance sizes Gavel
 //! produces; the hierarchical policy falls back to an equivalent sequence of
 //! per-job LP probes above a size threshold (see `gavel-policies`).
+//!
+//! # Warm-started nodes
+//!
+//! Each child node differs from its parent by a single variable-bound
+//! change, which leaves the parent's optimal basis *dual* feasible. With
+//! bounds carried implicitly on columns (never as rows), a node is the
+//! root LP with patched `b`/`upper` vectors: the driver lowers the root
+//! *once* ([`NodeCtx`]), clones-and-patches the sparse instance per node,
+//! and re-solves from the parent's [`WarmStart`] via the dual simplex — a
+//! few pivots instead of a full two-phase solve, with no re-lowering and
+//! no matrix rebuild. Nodes whose bound change flips a row's
+//! slack/artificial structure (a shifted lower bound crossing a
+//! right-hand side through zero) transparently take the general
+//! [`LpProblem::solve_warm`] path instead; hints are validated, never
+//! trusted, so correctness is independent of all of this. The aggregated
+//! [`SolveStats`] on the returned solution expose `dual_pivots`,
+//! `warm_hits`, and `warm_falls_back` across all nodes.
 
 use crate::error::SolverError;
-use crate::problem::{LpProblem, Sense, VarId};
-use crate::simplex::{LpSolution, SolveStats};
+use crate::problem::{recover_values, Lowering, LpProblem, Sense, VarId, VarMap, WarmStart};
+use crate::revised::{self, Instance};
+use crate::simplex::{LpSolution, SimplexOptions, SolveStats};
 
 /// Options for [`solve_milp`].
 #[derive(Debug, Clone)]
@@ -19,6 +37,11 @@ pub struct MilpOptions {
     pub node_limit: usize,
     /// Values within this distance of an integer count as integral.
     pub int_tol: f64,
+    /// Re-solve each node's relaxation from its parent's basis via the
+    /// dual-reoptimizing warm path (on by default). Disabling forces a
+    /// cold solve per node; the search tree and the returned solution are
+    /// unaffected either way (hints are validated, never trusted).
+    pub warm_start: bool,
 }
 
 impl Default for MilpOptions {
@@ -26,6 +49,7 @@ impl Default for MilpOptions {
         MilpOptions {
             node_limit: 100_000,
             int_tol: 1e-6,
+            warm_start: true,
         }
     }
 }
@@ -42,32 +66,58 @@ pub fn solve_milp(
     integer_vars: &[VarId],
     opts: &MilpOptions,
 ) -> Result<LpSolution, SolverError> {
+    lp.validate()?;
     let maximize = lp.sense() == Sense::Maximize;
     let mut nodes_explored = 0usize;
     let mut incumbent: Option<LpSolution> = None;
     let mut total_stats = SolveStats::default();
 
-    // Each node carries bound overrides on top of the root problem.
-    let mut stack: Vec<Vec<(VarId, f64, f64)>> = vec![Vec::new()];
+    // Root lowering and sparse instance, shared by every node: a branch
+    // only tightens one variable's bounds, which patches the instance's
+    // `b`/`upper` vectors in place (see `solve_node`) — re-lowering and
+    // rebuilding the constraint matrix per node would cost more than the
+    // warm dual re-solve itself.
+    let mut ctx = NodeCtx::build(lp)?;
 
-    while let Some(overrides) = stack.pop() {
+    // Each node carries bound overrides on top of the root problem plus
+    // its parent's optimal basis (dual feasible for the child, since a
+    // branch only flips one variable bound).
+    type Node = (Vec<(VarId, f64, f64)>, Option<WarmStart>);
+    let mut stack: Vec<Node> = vec![(Vec::new(), None)];
+
+    while let Some((overrides, parent_basis)) = stack.pop() {
         nodes_explored += 1;
         if nodes_explored > opts.node_limit {
             return Err(SolverError::NodeLimit {
                 nodes: nodes_explored,
             });
         }
-        let mut node_lp = lp.clone();
+        let hint = if opts.warm_start {
+            parent_basis.as_ref()
+        } else {
+            None
+        };
+        // Final bounds per overridden variable (later overrides win).
+        let mut node_bounds: Vec<(VarId, f64, f64)> = Vec::with_capacity(overrides.len());
         for &(v, lo, hi) in &overrides {
-            node_lp.set_bounds(v, lo, hi);
+            match node_bounds.iter_mut().find(|(bv, _, _)| *bv == v) {
+                Some(entry) => *entry = (v, lo, hi),
+                None => node_bounds.push((v, lo, hi)),
+            }
         }
-        let relaxed = match node_lp.solve() {
-            Ok(sol) => sol,
+        let (relaxed, basis) = match ctx.solve_node(lp, &node_bounds, hint, &mut total_stats) {
+            Ok(out) => out,
             Err(SolverError::Infeasible) => continue,
             Err(e) => return Err(e),
         };
-        total_stats.pivots_phase1 += relaxed.stats.pivots_phase1;
-        total_stats.pivots_phase2 += relaxed.stats.pivots_phase2;
+        total_stats.absorb(&relaxed.stats);
+        let bounds_of = |v: VarId| {
+            node_bounds
+                .iter()
+                .find(|&&(bv, _, _)| bv == v)
+                .map(|&(_, lo, hi)| (lo, hi))
+                .unwrap_or_else(|| lp.bounds(v))
+        };
 
         // Bound pruning: the relaxation is an upper bound (max) / lower
         // bound (min) on any integral descendant.
@@ -117,20 +167,25 @@ pub fn solve_milp(
                 }
             }
             Some((v, x, _)) => {
-                let (lo, hi) = node_lp.bounds(v);
+                let (lo, hi) = bounds_of(v);
                 let floor = x.floor();
                 let ceil = x.ceil();
-                // Down branch: v <= floor(x).
-                if floor >= lo - opts.int_tol {
-                    let mut down = overrides.clone();
-                    down.push((v, lo, floor));
-                    stack.push(down);
-                }
-                // Up branch: v >= ceil(x).
+                // Up branch: v >= ceil(x). Pushed first (explored second):
+                // raising a lower bound shifts the lowering's right-hand
+                // sides, which can (rarely) flip a row's structure, so it
+                // warm-hits slightly less often than the down branch (a
+                // pure upper-bound tighten) popped right away.
+                let child_hint = opts.warm_start.then_some(basis);
                 if ceil <= hi + opts.int_tol {
                     let mut up = overrides.clone();
                     up.push((v, ceil, hi));
-                    stack.push(up);
+                    stack.push((up, child_hint.clone()));
+                }
+                // Down branch: v <= floor(x) — a pure upper-bound tighten.
+                if floor >= lo - opts.int_tol {
+                    let mut down = overrides.clone();
+                    down.push((v, lo, floor));
+                    stack.push((down, child_hint));
                 }
             }
         }
@@ -147,6 +202,188 @@ pub fn solve_milp(
             Ok(sol)
         }
         None => Err(SolverError::Infeasible),
+    }
+}
+
+/// The shared node-solving context: the root problem's lowering and sparse
+/// instance, built once per [`solve_milp`] call.
+///
+/// A branch-and-bound node is the root LP with a handful of variable-bound
+/// overrides. As long as every overridden variable lowers as a shifted
+/// column and no row's raw right-hand side crosses zero under the new
+/// shifts (which would change the slack/artificial structure), the node's
+/// instance is the root instance with a patched `b`/`upper` — no
+/// re-lowering, no matrix rebuild. Nodes that do change shape (or hit
+/// numerical trouble) transparently re-solve through the general
+/// [`LpProblem::solve_warm`] path instead.
+struct NodeCtx {
+    lowering: Lowering,
+    inst: Instance,
+    /// Raw (pre-normalization) right-hand sides of the root lowering, for
+    /// the sign-stability check.
+    raw_rhs: Vec<f64>,
+    /// Objective sign: `-1` for maximization (the lowering minimizes).
+    sign: f64,
+    /// Reusable per-node buffers: the node instance (constraint matrix
+    /// identical to the root's, only `b`/`upper` rewritten per node), the
+    /// node's variable mapping, raw right-hand sides, and touched rows.
+    /// Reused so the hot path allocates nothing per node.
+    scratch: Instance,
+    scratch_mapping: Vec<VarMap>,
+    scratch_raw: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+impl NodeCtx {
+    fn build(lp: &LpProblem) -> Result<NodeCtx, SolverError> {
+        let lowering = lp.lower()?;
+        let inst = Instance::build(&lowering.std);
+        let raw_rhs: Vec<f64> = lowering.std.rows.iter().map(|r| r.2).collect();
+        let sign = match lp.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        Ok(NodeCtx {
+            scratch: inst.clone(),
+            scratch_mapping: lowering.mapping.clone(),
+            scratch_raw: raw_rhs.clone(),
+            touched: Vec::new(),
+            lowering,
+            inst,
+            raw_rhs,
+            sign,
+        })
+    }
+
+    /// Solves one node: the root problem under `node_bounds` overrides,
+    /// warm-started from `hint` when given. Pivot counters spent on
+    /// *failed* node solves (pruned infeasible nodes, whose verdict the
+    /// dual phase proves) are absorbed into `err_stats` so the aggregate
+    /// accounting stays honest; successful solves report their stats on
+    /// the returned solution.
+    fn solve_node(
+        &mut self,
+        lp: &LpProblem,
+        node_bounds: &[(VarId, f64, f64)],
+        hint: Option<&WarmStart>,
+        err_stats: &mut SolveStats,
+    ) -> Result<(LpSolution, WarmStart), SolverError> {
+        match self.try_patched(lp, node_bounds, hint, err_stats) {
+            Some(result) => result,
+            None => Self::solve_classic(lp, node_bounds, hint),
+        }
+    }
+
+    /// The fast path: rewrite `b`/`upper` of the reusable node instance
+    /// (same constraint matrix as the root) and solve directly. Returns
+    /// `None` when the node cannot be expressed as a patch (shape change)
+    /// — or `Some(Err(..))` for real verdicts.
+    #[allow(clippy::type_complexity)]
+    fn try_patched(
+        &mut self,
+        lp: &LpProblem,
+        node_bounds: &[(VarId, f64, f64)],
+        hint: Option<&WarmStart>,
+        err_stats: &mut SolveStats,
+    ) -> Option<Result<(LpSolution, WarmStart), SolverError>> {
+        // Every overridden variable must stay a shifted column with a
+        // finite lower bound and a valid range.
+        for &(v, lo, hi) in node_bounds {
+            if !lo.is_finite() || lo > hi {
+                return None;
+            }
+            match self.lowering.mapping[v.index()] {
+                VarMap::Shifted { .. } => {}
+                _ => return None,
+            }
+        }
+        self.scratch.b.copy_from_slice(&self.inst.b);
+        self.scratch.upper.copy_from_slice(&self.inst.upper);
+        self.scratch_mapping.copy_from_slice(&self.lowering.mapping);
+        self.scratch_raw.copy_from_slice(&self.raw_rhs);
+        self.touched.clear();
+        let mut obj_const = self.lowering.obj_const;
+        for &(v, lo, hi) in node_bounds {
+            let VarMap::Shifted { col, shift } = self.scratch_mapping[v.index()] else {
+                unreachable!("checked above");
+            };
+            let dshift = lo - shift;
+            if dshift != 0.0 {
+                for (i, stored) in self.inst.col(col) {
+                    // Stored coefficients carry the row's normalization
+                    // sign; undo it to update the raw right-hand side.
+                    let sgn = if self.raw_rhs[i] < 0.0 { -1.0 } else { 1.0 };
+                    self.scratch_raw[i] -= stored * sgn * dshift;
+                    self.touched.push(i);
+                }
+                obj_const += self.sign * lp.objective_coeff(v) * dshift;
+                self.scratch_mapping[v.index()] = VarMap::Shifted { col, shift: lo };
+            }
+            self.scratch.upper[col] = if hi.is_finite() {
+                hi - lo
+            } else {
+                f64::INFINITY
+            };
+        }
+        for &i in &self.touched {
+            // A raw rhs crossing zero flips the row's slack/artificial
+            // structure: not expressible as a patch.
+            if (self.raw_rhs[i] < 0.0) != (self.scratch_raw[i] < 0.0) {
+                return None;
+            }
+            let sgn = if self.raw_rhs[i] < 0.0 { -1.0 } else { 1.0 };
+            self.scratch.b[i] = sgn * self.scratch_raw[i];
+        }
+        let hint_slices = hint.map(|h| (h.basis.as_slice(), h.at_upper.as_slice()));
+        let out =
+            match revised::solve_instance(&self.scratch, &SimplexOptions::default(), hint_slices) {
+                Ok(out) => out,
+                Err((SolverError::Numerical { .. }, _)) => return None, // dense-oracle path
+                Err((e, stats)) => {
+                    err_stats.absorb(&stats);
+                    return Some(Err(e));
+                }
+            };
+        let values = recover_values(&self.scratch_mapping, &out.x);
+        let mut objective = out.objective + obj_const;
+        if self.sign < 0.0 {
+            objective = -objective;
+        }
+        let sol = LpSolution {
+            values,
+            objective,
+            stats: out.stats,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut node_lp = lp.clone();
+            for &(v, lo, hi) in node_bounds {
+                node_lp.set_bounds(v, lo, hi);
+            }
+            node_lp.cross_check(&sol);
+        }
+        Some(Ok((
+            sol,
+            WarmStart {
+                basis: out.basis,
+                at_upper: out.at_upper,
+            },
+        )))
+    }
+
+    /// The general path: materialize the node problem and go through
+    /// [`LpProblem::solve_warm`] (which includes the dense-oracle fallback
+    /// on numerical collapse).
+    fn solve_classic(
+        lp: &LpProblem,
+        node_bounds: &[(VarId, f64, f64)],
+        hint: Option<&WarmStart>,
+    ) -> Result<(LpSolution, WarmStart), SolverError> {
+        let mut node_lp = lp.clone();
+        for &(v, lo, hi) in node_bounds {
+            node_lp.set_bounds(v, lo, hi);
+        }
+        node_lp.solve_warm(hint)
     }
 }
 
@@ -227,6 +464,67 @@ mod tests {
             solve_milp(&lp, &vars, &opts),
             Err(SolverError::NodeLimit { .. })
         ));
+    }
+
+    #[test]
+    fn warm_started_nodes_match_cold_and_reuse_bases() {
+        // A knapsack big enough to branch repeatedly: warm-started
+        // branch-and-bound must agree with cold-per-node exactly and
+        // actually reuse parent bases along the way.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let mut vars = Vec::new();
+        let mut terms = Vec::new();
+        for i in 0..12 {
+            let v = lp.add_var(
+                &format!("x{i}"),
+                0.0,
+                1.0,
+                3.0 + ((i * 7) % 5) as f64 + 0.1 * i as f64,
+            );
+            terms.push((v, 1.0 + ((i * 3) % 4) as f64));
+            vars.push(v);
+        }
+        lp.add_constraint(&terms, Cmp::Le, 11.0);
+        let warm = solve_milp(&lp, &vars, &MilpOptions::default()).unwrap();
+        let cold = solve_milp(
+            &lp,
+            &vars,
+            &MilpOptions {
+                warm_start: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(warm.stats.warm_hits > 0, "stats={:?}", warm.stats);
+        assert_eq!(cold.stats.warm_hits, 0);
+        assert!(
+            warm.stats.total_pivots() < cold.stats.total_pivots(),
+            "warm {:?} not cheaper than cold {:?}",
+            warm.stats,
+            cold.stats
+        );
+    }
+
+    #[test]
+    fn node_relaxations_lower_without_bound_rows() {
+        // MILP node relaxations are exactly the root LP with tightened
+        // variable bounds: none of them may grow extra standard-form rows.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let a = lp.add_var("a", 0.0, 1.0, 2.0);
+        let b = lp.add_var("b", 0.0, 1.0, 1.0);
+        lp.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.5);
+        assert_eq!(lp.num_standard_rows().unwrap(), 1);
+        let mut child = lp.clone();
+        child.set_bounds(a, 0.0, 0.0); // down branch
+        assert_eq!(child.num_standard_rows().unwrap(), 1);
+        child.set_bounds(a, 1.0, 1.0); // up branch
+        assert_eq!(child.num_standard_rows().unwrap(), 1);
     }
 
     #[test]

@@ -2,33 +2,51 @@
 //!
 //! [`LpProblem`] collects variables (with bounds and objective coefficients)
 //! and linear constraints, then lowers the problem to the standard form
-//! `min c'x` subject to `Ax {<=,>=,=} b, x >= 0` consumed by the simplex
-//! engines in [`crate::revised`] (the default) and [`crate::simplex`] (the
-//! dense cross-check oracle). The lowering emits sparse rows and handles:
+//! `min c'x` subject to `Ax {<=,>=,=} b, 0 <= x <= u` consumed by the
+//! simplex engines in [`crate::revised`] (the default) and
+//! [`crate::simplex`] (the dense cross-check oracle). The lowering emits
+//! sparse rows and handles:
 //!
 //! - maximization (objective negation),
 //! - finite lower bounds (variable shifting),
-//! - finite upper bounds (an extra row per bounded variable, unless the
-//!   bound is `+inf`),
+//! - finite upper bounds (carried on the column as `u = upper - lower`;
+//!   never an extra row — the revised engine's ratio test handles bounds
+//!   implicitly, the dense oracle re-expands them to rows on its side),
 //! - free variables (split into a difference of two nonnegative variables).
+//!
+//! Because bounds ride on columns, the standard-form row count `m` equals
+//! the user-facing constraint count exactly — the probe/prepass LPs (slack
+//! variables in `[0, 1]`) and MILP node relaxations (binary bounds) that
+//! dominate Gavel's runtime no longer pay one basis row per bounded
+//! variable.
 
 use crate::error::SolverError;
 use crate::revised;
 use crate::simplex::{self, LpSolution, SimplexOptions, StandardForm};
 
-/// An optimal simplex basis returned by [`LpProblem::solve_warm`], reusable
-/// as a hint for the next solve of a structurally similar problem.
+/// An optimal simplex basis state returned by [`LpProblem::solve_warm`],
+/// reusable as a hint for the next solve of a structurally similar
+/// problem. Carries the basic column per standard-form row plus the bound
+/// side (lower or upper) each nonbasic column rests at, so bounded-variable
+/// vertices round-trip exactly.
 ///
 /// The warm-start contract: a hint is *never* required to be valid. If the
 /// next problem lowers to a different shape, or the hinted basis is
-/// singular or primal-infeasible under the new data, or the warm solve
-/// fails part-way, the solver silently falls back to a cold start on the
-/// shared pivot budget. A hint thus never changes the feasibility verdict
-/// or the optimal objective; on problems with multiple optimal solutions
-/// it may steer which optimal vertex is returned.
+/// singular, or it is neither primal feasible (warm phase-2 continuation)
+/// nor dual feasible (dual-simplex reoptimization) under the new data, or
+/// the warm solve fails part-way, the solver silently falls back to a cold
+/// start on the shared pivot budget (the one exception: an infeasibility
+/// *proved* by the dual phase from a validated dual-feasible basis is
+/// returned directly — see [`crate::revised`]). A hint thus never changes
+/// the feasibility verdict or the optimal objective; on problems with
+/// multiple optimal solutions it may steer which optimal vertex is
+/// returned.
 #[derive(Debug, Clone)]
 pub struct WarmStart {
     pub(crate) basis: Vec<usize>,
+    /// Bound side per standard-form column (structural, slack, artificial):
+    /// `true` when the column was nonbasic at its upper bound.
+    pub(crate) at_upper: Vec<bool>,
 }
 
 impl WarmStart {
@@ -40,6 +58,21 @@ impl WarmStart {
     /// Whether the recorded basis is empty (a problem with no rows).
     pub fn is_empty(&self) -> bool {
         self.basis.is_empty()
+    }
+
+    /// The recorded basic columns, in canonical (sorted) order. Two solves
+    /// that report the same basis state here (and the same
+    /// [`WarmStart::at_upper_flags`]) return bit-identical solutions — the
+    /// engine recomputes values from a canonical refactorization of the
+    /// final basis, so they cannot depend on the pivot path.
+    pub fn basic_columns(&self) -> &[usize] {
+        &self.basis
+    }
+
+    /// Bound side per standard-form column: `true` when nonbasic at its
+    /// upper bound. See [`WarmStart::basic_columns`].
+    pub fn at_upper_flags(&self) -> &[bool] {
+        &self.at_upper
     }
 }
 
@@ -223,18 +256,22 @@ impl LpProblem {
     ) -> Result<(LpSolution, WarmStart), SolverError> {
         self.validate()?;
         let lowering = self.lower()?;
-        let (raw, objective_std, stats, basis) =
-            match revised::solve_revised(&lowering.std, opts, hint.map(|h| h.basis.as_slice())) {
-                Ok(out) => (out.x, out.objective, out.stats, out.basis),
-                // Rare numerical collapse (fp-singular basis): the dense
-                // tableau needs no factorization, so retry there. The empty
-                // basis token makes the *next* warm solve cold-start.
-                Err(SolverError::Numerical { .. }) => {
-                    let (raw, obj, stats) = simplex::solve_standard(&lowering.std, opts)?;
-                    (raw, obj, stats, Vec::new())
-                }
-                Err(e) => return Err(e),
-            };
+        let (raw, objective_std, stats, basis, at_upper) = match revised::solve_revised(
+            &lowering.std,
+            opts,
+            hint.map(|h| (h.basis.as_slice(), h.at_upper.as_slice())),
+        ) {
+            Ok(out) => (out.x, out.objective, out.stats, out.basis, out.at_upper),
+            // Rare numerical collapse (fp-singular basis): the dense
+            // tableau needs no factorization, so retry there. The empty
+            // basis token makes the *next* warm solve cold-start.
+            Err(SolverError::Numerical { .. }) => {
+                let (raw, obj, mut stats) = simplex::solve_standard(&lowering.std, opts)?;
+                stats.dense_fallbacks = 1;
+                (raw, obj, stats, Vec::new(), Vec::new())
+            }
+            Err(e) => return Err(e),
+        };
         let values = lowering.recover(&raw);
         // The standard form always minimizes; undo the lowering's sign and
         // constant shifts to report the user-facing objective.
@@ -249,7 +286,7 @@ impl LpProblem {
         };
         #[cfg(debug_assertions)]
         self.cross_check(&sol);
-        Ok((sol, WarmStart { basis }))
+        Ok((sol, WarmStart { basis, at_upper }))
     }
 
     /// Solves with the dense two-phase tableau ([`crate::simplex`]) — the
@@ -279,9 +316,15 @@ impl LpProblem {
     }
 
     /// Debug-mode oracle: when `GAVEL_LP_CROSSCHECK` is set, re-solve with
-    /// the dense tableau and assert the engines agree on the objective.
+    /// the dense tableau (which expands column bounds into explicit rows,
+    /// independently of the bounded-variable path) and assert the engines
+    /// agree on the objective. Runs on *every* revised-engine solve —
+    /// cold, warm-continued, and dual-reoptimized alike, since
+    /// [`LpProblem::solve`] and [`LpProblem::solve_warm`] share this exit
+    /// path — and additionally asserts the returned point respects every
+    /// variable bound and constraint of the original problem.
     #[cfg(debug_assertions)]
-    fn cross_check(&self, sol: &LpSolution) {
+    pub(crate) fn cross_check(&self, sol: &LpSolution) {
         if std::env::var_os("GAVEL_LP_CROSSCHECK").is_none() {
             return;
         }
@@ -295,9 +338,32 @@ impl LpProblem {
             sol.objective,
             dense.objective,
         );
+        for (v, value) in self.vars.iter().zip(&sol.values) {
+            debug_assert!(
+                *value >= v.lower - 1e-6 && *value <= v.upper + 1e-6,
+                "variable `{}` = {value} violates bounds [{}, {}]",
+                v.name,
+                v.lower,
+                v.upper,
+            );
+        }
+        for (i, c) in self.cons.iter().enumerate() {
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, coeff)| coeff * sol.values[v])
+                .sum();
+            let tol = 1e-6 * (1.0 + c.rhs.abs());
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            debug_assert!(ok, "constraint {i} violated: lhs {lhs} vs rhs {}", c.rhs);
+        }
     }
 
-    fn validate(&self) -> Result<(), SolverError> {
+    pub(crate) fn validate(&self) -> Result<(), SolverError> {
         for v in &self.vars {
             if v.lower.is_nan() || v.upper.is_nan() || v.lower > v.upper {
                 return Err(SolverError::InvalidBounds {
@@ -333,24 +399,29 @@ impl LpProblem {
         Ok(())
     }
 
-    fn lower(&self) -> Result<Lowering, SolverError> {
+    pub(crate) fn lower(&self) -> Result<Lowering, SolverError> {
         let n = self.vars.len();
         // Per original variable: how it maps into standard columns.
         let mut mapping = Vec::with_capacity(n);
         let mut ncols = 0usize;
-        // Extra rows for finite upper bounds on shifted variables.
-        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+        // Finite upper bounds of shifted variables, carried on the column
+        // (`usize::MAX` sentinel never occurs; indexed parallel to columns
+        // after the mapping pass).
+        let mut col_upper: Vec<f64> = Vec::new();
         let mut obj_const = 0.0;
         for v in &self.vars {
             let lo_finite = v.lower.is_finite();
             let up_finite = v.upper.is_finite();
             let m = if lo_finite {
-                // x = lower + x', x' >= 0; upper becomes x' <= upper - lower.
+                // x = lower + x', x' in [0, upper - lower] (upper may be
+                // +inf): the bound rides on the column, never as a row.
                 let col = ncols;
                 ncols += 1;
-                if up_finite {
-                    bound_rows.push((col, v.upper - v.lower));
-                }
+                col_upper.push(if up_finite {
+                    v.upper - v.lower
+                } else {
+                    f64::INFINITY
+                });
                 obj_const += v.obj * v.lower;
                 VarMap::Shifted {
                     col,
@@ -360,6 +431,7 @@ impl LpProblem {
                 // x = upper - x'', x'' >= 0.
                 let col = ncols;
                 ncols += 1;
+                col_upper.push(f64::INFINITY);
                 obj_const += v.obj * v.upper;
                 VarMap::Mirrored {
                     col,
@@ -370,6 +442,8 @@ impl LpProblem {
                 let pos = ncols;
                 let neg = ncols + 1;
                 ncols += 2;
+                col_upper.push(f64::INFINITY);
+                col_upper.push(f64::INFINITY);
                 VarMap::Free { pos, neg }
             };
             mapping.push(m);
@@ -393,7 +467,7 @@ impl LpProblem {
         }
         let obj_const_signed = sign * obj_const;
 
-        let mut rows = Vec::with_capacity(self.cons.len() + bound_rows.len());
+        let mut rows = Vec::with_capacity(self.cons.len());
         let mut terms: Vec<(usize, f64)> = Vec::new();
         for c in &self.cons {
             terms.clear();
@@ -427,16 +501,27 @@ impl LpProblem {
             merged.retain(|&(_, coeff)| coeff != 0.0);
             rows.push((merged, c.cmp, rhs));
         }
-        for &(col, ub) in &bound_rows {
-            rows.push((vec![(col, 1.0)], Cmp::Le, ub));
-        }
 
         Ok(Lowering {
-            std: StandardForm { ncols, costs, rows },
+            std: StandardForm {
+                ncols,
+                costs,
+                rows,
+                upper: col_upper,
+            },
             mapping,
             num_original: n,
             obj_const: obj_const_signed,
         })
+    }
+
+    /// Number of rows the problem lowers to in standard form. With bounds
+    /// carried implicitly on columns this equals
+    /// [`LpProblem::num_constraints`] exactly; exposed so tests and
+    /// diagnostics can assert no hidden rows are ever emitted.
+    pub fn num_standard_rows(&self) -> Result<usize, SolverError> {
+        self.validate()?;
+        Ok(self.lower()?.std.rows.len())
     }
 }
 
@@ -448,34 +533,44 @@ impl std::ops::Index<VarId> for LpSolution {
     }
 }
 
+/// How one user-facing variable maps into standard-form columns.
 #[derive(Debug, Clone, Copy)]
-enum VarMap {
+pub(crate) enum VarMap {
     Shifted { col: usize, shift: f64 },
     Mirrored { col: usize, upper: f64 },
     Free { pos: usize, neg: usize },
 }
 
-struct Lowering {
-    std: StandardForm,
-    mapping: Vec<VarMap>,
-    num_original: usize,
+/// The lowered problem: standard form plus enough bookkeeping to recover
+/// user-facing values and objectives. Crate-internal so the MILP driver
+/// can patch bounds per branch-and-bound node without re-lowering.
+pub(crate) struct Lowering {
+    pub(crate) std: StandardForm,
+    pub(crate) mapping: Vec<VarMap>,
+    pub(crate) num_original: usize,
     /// Constant added to the standard-form objective (already sign-adjusted
     /// for maximization).
-    obj_const: f64,
+    pub(crate) obj_const: f64,
+}
+
+/// Maps standard-column values back to user-facing variable values.
+pub(crate) fn recover_values(mapping: &[VarMap], raw: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(mapping.len());
+    for m in mapping {
+        let v = match *m {
+            VarMap::Shifted { col, shift } => shift + raw[col],
+            VarMap::Mirrored { col, upper } => upper - raw[col],
+            VarMap::Free { pos, neg } => raw[pos] - raw[neg],
+        };
+        out.push(v);
+    }
+    out
 }
 
 impl Lowering {
     fn recover(&self, raw: &[f64]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.num_original);
-        for m in &self.mapping {
-            let v = match *m {
-                VarMap::Shifted { col, shift } => shift + raw[col],
-                VarMap::Mirrored { col, upper } => upper - raw[col],
-                VarMap::Free { pos, neg } => raw[pos] - raw[neg],
-            };
-            out.push(v);
-        }
-        out
+        debug_assert_eq!(self.mapping.len(), self.num_original);
+        recover_values(&self.mapping, raw)
     }
 }
 
@@ -556,6 +651,22 @@ mod tests {
             lp.solve().unwrap_err(),
             SolverError::InvalidBounds { .. }
         ));
+    }
+
+    #[test]
+    fn bounded_vars_lower_without_extra_rows() {
+        // Finite upper bounds ride on columns: the standard form has
+        // exactly one row per user constraint, and the solve still honors
+        // every bound.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, 1.0, 3.0);
+        let y = lp.add_var("y", 0.5, 2.5, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(lp.num_standard_rows().unwrap(), lp.num_constraints());
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 1.0).abs() < 1e-9);
+        assert!((sol[y] - 2.0).abs() < 1e-9);
+        assert!((sol.objective - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -13,21 +13,53 @@
 //!
 //! Each iteration prices with reduced costs from one BTRAN (`Bᵀ y = c_B`)
 //! and sparse column dot products, then runs one FTRAN (`B w = a_q`) for
-//! the ratio test — `O(nnz)` per pivot instead of `O(m * width)`. The
-//! two-phase structure, Dantzig→Bland anti-cycling switch, and artificial
-//! handling mirror the dense implementation exactly, which keeps the two
-//! engines interchangeable (the dense one survives as a cross-check
-//! oracle, see [`crate::LpProblem::solve_dense`]).
+//! the ratio test — `O(nnz)` per pivot instead of `O(m * width)`.
 //!
-//! # Warm starts
+//! # Bounded variables
 //!
-//! [`solve_revised`] accepts an optional basis hint — typically the
-//! optimal basis of a near-identical LP solved a moment ago (Gavel's
-//! water-filling rounds and per-job probes). When the hint still selects a
-//! nonsingular, primal-feasible basis of the *new* LP, phase 1 is skipped
-//! entirely and phase 2 resumes from that vertex; otherwise the solver
-//! silently falls back to a cold start, so a stale hint can never change
-//! the outcome, only the work done.
+//! Columns carry implicit bounds `0 <= x_j <= u_j` ([`StandardForm::
+//! upper`]); finite upper bounds never become rows here. A nonbasic
+//! variable rests at *either* bound (`at_upper` state), the ratio test is
+//! two-sided (a basic variable can leave at its lower or its upper bound),
+//! and an entering variable whose own bound is the tightest limit simply
+//! *bound-flips* to the other bound — no basis change, no factorization
+//! update, counted in [`SolveStats::bound_flips`]. During phase 2,
+//! artificial columns are treated as fixed at zero (`[0, 0]` bounds),
+//! which makes them inert: they can neither re-enter nor rise, so a
+//! warm-started basis that kept an artificial basic at zero is safe.
+//!
+//! # Warm starts and the dual simplex phase
+//!
+//! [`solve_revised`] accepts an optional `(basis, at_upper)` hint —
+//! typically the optimal state of a near-identical LP solved a moment ago
+//! (Gavel's water-filling rounds, per-job probes, MILP branch-and-bound
+//! nodes). The hint is classified, never trusted:
+//!
+//! - still **primal feasible** under the new data → phase 2 resumes from
+//!   that vertex (often zero pivots);
+//! - primal infeasible but **dual feasible** — the signature of a risen
+//!   floor (RHS change) or a tightened variable bound (MILP branching),
+//!   both of which leave reduced costs untouched → a **dual simplex**
+//!   phase repairs primal feasibility in a handful of pivots
+//!   ([`SolveStats::dual_pivots`]), then phase 2 polishes (usually a
+//!   no-op);
+//! - anything else (shape mismatch, singular basis, neither feasibility) →
+//!   silent cold start on the shared pivot budget
+//!   ([`SolveStats::warm_falls_back`]).
+//!
+//! One verdict *is* accepted from the warm path: dual unboundedness
+//! reached from a validated dual-feasible basis is a sound proof that the
+//! LP is primal infeasible (phase 2 fixes artificials at zero, so the
+//! extended system is exactly the real one), and is returned without a
+//! cold re-derivation — infeasible-by-design probes (makespan bisection,
+//! pruned MILP nodes) would otherwise pay the dual phase *and* a full
+//! phase 1. Every other warm-path failure (unbounded, iteration limit,
+//! numerical) still falls back cold. A hint therefore never changes the
+//! feasibility verdict or the optimal objective, only the work done. Before extraction the basis is
+//! refactorized and `x_B` recomputed from scratch, so the returned values
+//! are a pure function of the final `(basis, at_upper)` state — warm and
+//! cold solves that finish at the same basis return bit-identical
+//! solutions.
 
 use crate::basis::Basis;
 use crate::error::SolverError;
@@ -36,24 +68,33 @@ use crate::simplex::{SimplexOptions, SolveStats, StandardForm};
 use crate::sparse::CscMatrix;
 
 /// Result of a revised-simplex solve: structural values, objective, pivot
-/// counters, and the final basis (column indices, one per row) for reuse
-/// as a warm-start hint.
+/// counters, and the final basis state (basic column per row plus the
+/// nonbasic bound sides) for reuse as a warm-start hint.
 #[derive(Debug, Clone)]
 pub(crate) struct RevisedOutcome {
     pub x: Vec<f64>,
     pub objective: f64,
     pub stats: SolveStats,
     pub basis: Vec<usize>,
+    pub at_upper: Vec<bool>,
 }
 
 /// The standard form with slack and artificial columns made explicit.
-struct Instance {
+/// Crate-internal (with cloneable, patchable `b`/`upper`) so the MILP
+/// driver can re-solve branch-and-bound nodes without rebuilding the
+/// constraint matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct Instance {
     /// `m x ntot` constraint matrix (structural, slack, artificial).
     a: CscMatrix,
     /// Nonnegative right-hand side.
-    b: Vec<f64>,
+    pub(crate) b: Vec<f64>,
     /// Phase-2 costs over all `ntot` columns.
     costs: Vec<f64>,
+    /// Upper bounds over all `ntot` columns (slack/artificial: `+inf`;
+    /// artificial columns are additionally clamped to zero in phase 2 via
+    /// [`Solver::ub`]).
+    pub(crate) upper: Vec<f64>,
     /// Structural column count.
     n: usize,
     /// First artificial column.
@@ -65,9 +106,16 @@ struct Instance {
 }
 
 impl Instance {
-    fn build(lp: &StandardForm) -> Instance {
+    /// Sparse `(row, coefficient)` nonzeros of structural column `j`, as
+    /// stored (i.e. after negative-RHS row normalization).
+    pub(crate) fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.a.col(j)
+    }
+
+    pub(crate) fn build(lp: &StandardForm) -> Instance {
         let m = lp.rows.len();
         let n = lp.ncols;
+        debug_assert_eq!(lp.upper.len(), n, "upper bounds must cover all columns");
         let mut n_slack = 0usize;
         let mut n_art = 0usize;
         for (_, cmp, rhs) in &lp.rows {
@@ -116,10 +164,13 @@ impl Instance {
         }
         let mut costs = vec![0.0; ntot];
         costs[..n].copy_from_slice(&lp.costs);
+        let mut upper = vec![f64::INFINITY; ntot];
+        upper[..n].copy_from_slice(&lp.upper);
         Instance {
             a: CscMatrix::from_columns(m, &cols),
             b,
             costs,
+            upper,
             n,
             art_start,
             ntot,
@@ -143,39 +194,102 @@ fn effective_cmp(cmp: Cmp, rhs: f64) -> Cmp {
 }
 
 /// Solves a standard-form LP with the revised simplex. `hint` is an
-/// optional warm-start basis (see the module docs); invalid or infeasible
+/// optional warm-start state `(basis columns, nonbasic at-upper flags)`;
+/// see the module docs for how hints are classified. Invalid or unusable
 /// hints fall back to a cold start.
 pub(crate) fn solve_revised(
     lp: &StandardForm,
     opts: &SimplexOptions,
-    hint: Option<&[usize]>,
+    hint: Option<(&[usize], &[bool])>,
 ) -> Result<RevisedOutcome, SolverError> {
     let inst = Instance::build(lp);
+    solve_instance(&inst, opts, hint).map_err(|(e, _)| e)
+}
+
+/// [`solve_revised`] over a prebuilt (possibly bound-patched) instance —
+/// the branch-and-bound node path, which skips re-lowering and matrix
+/// construction entirely. Errors carry the pivot counters spent reaching
+/// the verdict so drivers that aggregate over many solves (the MILP's
+/// pruned nodes, whose infeasibility the dual phase proves) can still
+/// account for the work.
+pub(crate) fn solve_instance(
+    inst: &Instance,
+    opts: &SimplexOptions,
+    hint: Option<(&[usize], &[bool])>,
+) -> Result<RevisedOutcome, (SolverError, SolveStats)> {
     let mut opts = opts.clone();
     if opts.iter_limit == 0 {
         opts.iter_limit = 200 * (inst.m + inst.ntot + 1) + 20_000;
     }
     let mut spent = SolveStats::default();
-    if let Some(hint) = hint {
-        if let Some(mut solver) = Solver::from_hint(&inst, &opts, hint) {
-            match solver.phase2() {
-                Ok(()) => return Ok(solver.extract()),
-                // Any warm-path failure invalidates only the hint, not the
-                // problem, so retry cold. That includes "unbounded": with a
-                // hinted basis that kept an artificial variable basic, the
-                // improving ray may raise the artificial — infeasible for
-                // the real LP — so only the cold verdict is authoritative.
-                // The warm attempt's pivots stay on the shared budget so a
-                // failed hint cannot double the configured iteration cap.
-                Err(_) => spent = solver.stats,
+    if let Some((hint_basis, hint_at_upper)) = hint {
+        // Assume fallback; on success the warm solver's own stats (which
+        // carry `warm_hits = 1` instead) are returned and `spent` is
+        // dropped.
+        spent.warm_falls_back = 1;
+        if let Some(mut solver) = Solver::from_hint(inst, &opts, hint_basis, hint_at_upper) {
+            if solver.primal_feasible() {
+                match solver.phase2() {
+                    Ok(()) => {
+                        solver.stats.warm_hits = 1;
+                        return solver.extract().map_err(|e| (e, solver.stats));
+                    }
+                    // A failure along the warm phase-2 path (including an
+                    // unbounded verdict, which is not authoritative from a
+                    // hinted basis) invalidates only the hint, not the
+                    // problem: retry cold. The warm attempt's pivots stay
+                    // on the shared budget so a failed hint cannot double
+                    // the configured iteration cap.
+                    Err(_) => spent.absorb(&solver.stats),
+                }
+            } else if solver.dual_feasible() {
+                match solver.dual_phase().and_then(|()| solver.phase2()) {
+                    Ok(()) => {
+                        solver.stats.warm_hits = 1;
+                        return solver.extract().map_err(|e| (e, solver.stats));
+                    }
+                    // Dual unboundedness from a basis that was *validated*
+                    // dual feasible is a sound infeasibility proof for the
+                    // bounded LP (phase 2 treats artificials as fixed at
+                    // zero, so the extended system is exactly the real
+                    // one): no violated row can be repaired by any column.
+                    // Re-deriving the verdict cold would double the work on
+                    // exactly the probes that are infeasible by design
+                    // (makespan bisection's lower half, pruned MILP nodes).
+                    // The proof is a warm hit: the hint did its job.
+                    Err(SolverError::Infeasible) => {
+                        solver.stats.warm_hits = 1;
+                        return Err((SolverError::Infeasible, solver.stats));
+                    }
+                    // Other failures (iteration limit, numerical) fall back
+                    // cold as above — those verdicts are not authoritative.
+                    Err(_) => spent.absorb(&solver.stats),
+                }
             }
+            // Neither primal nor dual feasible: the hint carries no usable
+            // information, reoptimize from scratch (no pivots were spent).
         }
     }
-    let mut solver = Solver::cold(&inst, &opts);
+    let mut solver = Solver::cold(inst, &opts);
     solver.stats = spent;
-    solver.phase1()?;
-    solver.phase2()?;
-    Ok(solver.extract())
+    if let Err(e) = solver.phase1().and_then(|()| solver.phase2()) {
+        return Err((e, solver.stats));
+    }
+    solver.extract().map_err(|e| (e, solver.stats))
+}
+
+/// Outcome of the bounded ratio test for one entering column.
+enum Step {
+    /// The entering column's own bound is the tightest limit: it jumps to
+    /// its other bound, no basis change.
+    Flip(f64),
+    /// A basic variable blocks first and leaves the basis at the recorded
+    /// bound side.
+    Pivot {
+        slot: usize,
+        t: f64,
+        leave_at_upper: bool,
+    },
 }
 
 struct Solver<'a> {
@@ -183,6 +297,10 @@ struct Solver<'a> {
     opts: &'a SimplexOptions,
     basis: Vec<usize>,
     in_basis: Vec<bool>,
+    /// Nonbasic bound side per column (`true` = resting at its upper
+    /// bound). Always `false` for basic columns and columns without a
+    /// finite upper bound.
+    at_upper: Vec<bool>,
     fac: Basis,
     x_b: Vec<f64>,
     stats: SolveStats,
@@ -205,6 +323,7 @@ impl<'a> Solver<'a> {
             x_b: inst.b.clone(),
             basis,
             in_basis,
+            at_upper: vec![false; inst.ntot],
             fac,
             stats: SolveStats::default(),
             bland: false,
@@ -212,52 +331,96 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Builds a solver from a warm-start basis if it is structurally valid,
-    /// nonsingular, and primal feasible (with basic artificials at zero).
+    /// Builds a solver from a warm-start state if it is structurally valid
+    /// and the selected basis is nonsingular. Feasibility is *not* checked
+    /// here — the caller classifies the state as primal feasible, dual
+    /// feasible, or unusable.
     fn from_hint(
         inst: &'a Instance,
         opts: &'a SimplexOptions,
-        hint: &[usize],
+        hint_basis: &[usize],
+        hint_at_upper: &[bool],
     ) -> Option<Solver<'a>> {
-        if hint.len() != inst.m {
+        if hint_basis.len() != inst.m || hint_at_upper.len() != inst.ntot {
             return None;
         }
         let mut in_basis = vec![false; inst.ntot];
-        for &c in hint {
+        for &c in hint_basis {
             if c >= inst.ntot || in_basis[c] {
                 return None; // Out of range or repeated column.
             }
             in_basis[c] = true;
         }
-        let fac = Basis::factorize(&inst.a, hint, opts.refactor_every, opts.pivot_tol)?;
-        let mut x_b = inst.b.clone();
-        fac.ftran(&mut x_b);
-        for (i, &c) in hint.iter().enumerate() {
-            if x_b[i] < -opts.feas_tol {
-                return None; // Primal infeasible under the new data.
-            }
-            // A basic artificial must sit at zero, or the point violates
-            // the real constraints even though the extended system is fine.
-            if c >= inst.art_start && x_b[i] > opts.feas_tol {
-                return None;
-            }
+        // Sanitize the bound sides: only nonbasic, non-artificial columns
+        // with a finite upper bound may rest at it.
+        let mut at_upper = vec![false; inst.ntot];
+        for (j, flag) in at_upper.iter_mut().enumerate() {
+            *flag =
+                hint_at_upper[j] && !in_basis[j] && j < inst.art_start && inst.upper[j].is_finite();
         }
-        for v in &mut x_b {
-            if *v < 0.0 {
-                *v = 0.0;
-            }
-        }
-        Some(Solver {
+        let fac = Basis::factorize(&inst.a, hint_basis, opts.refactor_every, opts.pivot_tol)?;
+        let mut solver = Solver {
             inst,
             opts,
-            basis: hint.to_vec(),
+            basis: hint_basis.to_vec(),
             in_basis,
+            at_upper,
             fac,
-            x_b,
+            x_b: vec![0.0; inst.m],
             stats: SolveStats::default(),
             bland: false,
             degenerate_run: 0,
-        })
+        };
+        solver.recompute_xb();
+        Some(solver)
+    }
+
+    /// Effective upper bound of a column: in phase 2 artificial columns
+    /// are fixed at zero, which bans re-entry and caps any basic
+    /// artificial so it can never rise above zero.
+    fn ub(&self, col: usize, phase: u8) -> f64 {
+        if phase == 2 && col >= self.inst.art_start {
+            0.0
+        } else {
+            self.inst.upper[col]
+        }
+    }
+
+    /// Whether every basic variable sits within its (phase-2) bounds.
+    fn primal_feasible(&self) -> bool {
+        self.basis
+            .iter()
+            .zip(&self.x_b)
+            .all(|(&c, &v)| v >= -self.opts.feas_tol && v <= self.ub(c, 2) + self.opts.feas_tol)
+    }
+
+    /// Whether every movable nonbasic column's reduced cost has the
+    /// optimality sign for its bound side (at lower: `d >= 0`, at upper:
+    /// `d <= 0`), i.e. the basis is dual feasible for the phase-2 costs.
+    fn dual_feasible(&self) -> bool {
+        const DTOL: f64 = 1e-7;
+        let y = self.prices(&self.inst.costs);
+        for j in 0..self.inst.art_start {
+            if self.in_basis[j] || self.ub(j, 2) <= 0.0 {
+                continue; // Basic or fixed columns carry no dual condition.
+            }
+            let d = self.inst.costs[j] - self.inst.a.col_dot(j, &y);
+            if self.at_upper[j] {
+                if d > DTOL {
+                    return false;
+                }
+            } else if d < -DTOL {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dual prices `y = B⁻ᵀ c_B` for the given cost vector.
+    fn prices(&self, costs: &[f64]) -> Vec<f64> {
+        let mut cb: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
+        self.fac.btran(&mut cb);
+        cb
     }
 
     /// Phase 1: minimize the sum of artificial variables from the identity
@@ -284,7 +447,7 @@ impl<'a> Solver<'a> {
         self.expel_artificials()
     }
 
-    /// Phase 2: minimize the real objective; artificials never enter.
+    /// Phase 2: minimize the real objective; artificials are fixed at zero.
     fn phase2(&mut self) -> Result<(), SolverError> {
         let costs = self.inst.costs.clone();
         self.pivot_loop(&costs, 2)
@@ -312,46 +475,77 @@ impl<'a> Solver<'a> {
             if let Some(j) = entering {
                 let w = self.ftran_col(j);
                 if w[slot].abs() > self.opts.pivot_tol {
-                    self.apply_pivot(slot, j, &w)?;
+                    // Zero-movement swap: the leaving artificial sits at
+                    // (numerically) zero, so the entering column keeps its
+                    // current value regardless of bound side.
+                    let dir = if self.at_upper[j] { -1.0 } else { 1.0 };
+                    let t = if self.x_b[slot].abs() <= 1e-12 {
+                        0.0
+                    } else {
+                        (self.x_b[slot] / (dir * w[slot])).max(0.0)
+                    };
+                    self.apply_pivot(slot, j, dir, t, false, &w)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Runs pivots until no entering column remains.
+    /// Total work spent, for the shared iteration budget.
+    fn work(&self) -> usize {
+        self.stats.total_pivots() + self.stats.bound_flips
+    }
+
+    /// Runs primal pivots until no entering column remains.
     fn pivot_loop(&mut self, costs: &[f64], phase: u8) -> Result<(), SolverError> {
         loop {
-            let total = self.stats.total_pivots();
-            if total > self.opts.iter_limit {
-                return Err(SolverError::IterationLimit { pivots: total });
+            if self.work() > self.opts.iter_limit {
+                return Err(SolverError::IterationLimit {
+                    pivots: self.stats.total_pivots(),
+                });
             }
-            let Some(col) = self.choose_entering(costs) else {
+            let Some((col, dir)) = self.choose_entering(costs, phase) else {
                 return Ok(());
             };
             let w = self.ftran_col(col);
-            let Some(slot) = self.choose_leaving(&w) else {
+            let Some(step) = self.choose_step(dir, &w, phase, self.ub(col, phase)) else {
                 // Mirrors the dense engine: phase 1 is bounded below by
                 // zero, so "unbounded" there means numerical trouble;
                 // callers treat both as hard errors.
                 return Err(SolverError::Unbounded);
             };
-            // Stability guard: a barely-eligible pivot element after a run
-            // of eta updates is usually accumulated error, not a real
-            // near-degenerate column. Refactorize and redo the iteration
-            // with exact factors before committing such a pivot.
-            if w[slot].abs() < 1e-7 && self.fac.has_updates() {
-                self.refactorize()?;
-                continue;
-            }
-            let old_val = self.x_b[slot];
-            self.apply_pivot(slot, col, &w)?;
-            if phase == 1 {
-                self.stats.pivots_phase1 += 1;
-            } else {
-                self.stats.pivots_phase2 += 1;
-            }
-            if old_val.abs() <= self.opts.pivot_tol {
+            let t = match step {
+                Step::Flip(t) => {
+                    for (xi, &wi) in self.x_b.iter_mut().zip(&w) {
+                        *xi -= dir * t * wi;
+                    }
+                    self.at_upper[col] = !self.at_upper[col];
+                    self.stats.bound_flips += 1;
+                    t
+                }
+                Step::Pivot {
+                    slot,
+                    t,
+                    leave_at_upper,
+                } => {
+                    // Stability guard: a barely-eligible pivot element after
+                    // a run of eta updates is usually accumulated error, not
+                    // a real near-degenerate column. Refactorize and redo
+                    // the iteration with exact factors before committing.
+                    if w[slot].abs() < 1e-7 && self.fac.has_updates() {
+                        self.refactorize()?;
+                        continue;
+                    }
+                    self.apply_pivot(slot, col, dir, t, leave_at_upper, &w)?;
+                    if phase == 1 {
+                        self.stats.pivots_phase1 += 1;
+                    } else {
+                        self.stats.pivots_phase2 += 1;
+                    }
+                    t
+                }
+            };
+            if t <= self.opts.pivot_tol {
                 self.degenerate_run += 1;
                 if self.degenerate_run >= self.opts.degeneracy_threshold {
                     self.bland = true;
@@ -362,64 +556,222 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Dantzig (most negative reduced cost) or, once cycling is suspected,
-    /// Bland (lowest index). Artificial columns never (re-)enter.
-    fn choose_entering(&mut self, costs: &[f64]) -> Option<usize> {
-        // y = B⁻ᵀ c_B: one BTRAN, then a sparse dot per nonbasic column.
-        let y = {
-            let mut cb: Vec<f64> = self.basis.iter().map(|&c| costs[c]).collect();
-            self.fac.btran(&mut cb);
-            cb
-        };
+    /// Dantzig (largest reduced-cost violation) or, once cycling is
+    /// suspected, Bland (lowest index). Returns the entering column and its
+    /// movement direction: `+1` rising from its lower bound, `-1` falling
+    /// from its upper bound. Artificial and fixed columns never enter.
+    fn choose_entering(&mut self, costs: &[f64], phase: u8) -> Option<(usize, f64)> {
+        let y = self.prices(costs);
         let limit = self.inst.art_start;
-        if self.bland {
-            (0..limit).find(|&j| {
-                !self.in_basis[j] && costs[j] - self.inst.a.col_dot(j, &y) < -self.opts.rc_tol
-            })
-        } else {
-            let mut best = None;
-            let mut best_rc = -self.opts.rc_tol;
-            for j in 0..limit {
-                if self.in_basis[j] {
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_viol = self.opts.rc_tol;
+        for j in 0..limit {
+            if self.in_basis[j] || self.ub(j, phase) <= 0.0 {
+                continue;
+            }
+            let rc = costs[j] - self.inst.a.col_dot(j, &y);
+            let (viol, dir) = if self.at_upper[j] {
+                (rc, -1.0) // Profitable to decrease from the upper bound.
+            } else {
+                (-rc, 1.0) // Profitable to increase from the lower bound.
+            };
+            if viol > best_viol {
+                if self.bland {
+                    return Some((j, dir));
+                }
+                best_viol = viol;
+                best = Some((j, dir));
+            }
+        }
+        best
+    }
+
+    /// Two-sided ratio test over `w = B⁻¹ a_q`: basic variables may block
+    /// at either bound, and the entering column's own bound (`u_enter`)
+    /// competes as a bound flip. Returns `None` when no limit exists
+    /// (unbounded ray).
+    fn choose_step(&self, dir: f64, w: &[f64], phase: u8, u_enter: f64) -> Option<Step> {
+        // (slot, ratio, leave_at_upper, |pivot element|)
+        let mut best: Option<(usize, f64, bool, f64)> = None;
+        for i in 0..self.inst.m {
+            // Rate of change of x_B[i] per unit of entering movement.
+            let delta = -dir * w[i];
+            let (ratio, leave_at_upper) = if delta < -self.opts.pivot_tol {
+                // Decreasing toward its lower bound (zero).
+                ((self.x_b[i] / -delta).max(0.0), false)
+            } else if delta > self.opts.pivot_tol {
+                let ubi = self.ub(self.basis[i], phase);
+                if !ubi.is_finite() {
                     continue;
                 }
-                let rc = costs[j] - self.inst.a.col_dot(j, &y);
-                if rc < best_rc {
-                    best_rc = rc;
-                    best = Some(j);
+                // Increasing toward its upper bound.
+                (((ubi - self.x_b[i]) / delta).max(0.0), true)
+            } else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                Some((bslot, bratio, _, bpivot)) => {
+                    let tol = 1e-10 * (1.0 + bratio.abs());
+                    if ratio < bratio - tol {
+                        true
+                    } else if (ratio - bratio).abs() <= tol {
+                        if self.bland {
+                            self.basis[i] < self.basis[bslot]
+                        } else {
+                            w[i].abs() > bpivot
+                        }
+                    } else {
+                        false
+                    }
+                }
+            };
+            if better {
+                best = Some((i, ratio, leave_at_upper, w[i].abs()));
+            }
+        }
+        match best {
+            Some((slot, t, leave_at_upper, _)) => {
+                if u_enter.is_finite() && u_enter <= t {
+                    Some(Step::Flip(u_enter))
+                } else {
+                    Some(Step::Pivot {
+                        slot,
+                        t,
+                        leave_at_upper,
+                    })
                 }
             }
-            best
+            None => u_enter.is_finite().then_some(Step::Flip(u_enter)),
         }
     }
 
-    /// Ratio test over `w = B⁻¹ a_q`, with the dense engine's tie-breaks.
-    fn choose_leaving(&self, w: &[f64]) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.inst.m {
-            let a = w[i];
-            if a > self.opts.pivot_tol {
-                let ratio = self.x_b[i] / a;
-                match best {
-                    None => best = Some((i, ratio)),
-                    Some((bi, br)) => {
-                        let tol = 1e-10 * (1.0 + br.abs());
-                        if ratio < br - tol {
-                            best = Some((i, ratio));
-                        } else if (ratio - br).abs() <= tol {
-                            if self.bland {
-                                if self.basis[i] < self.basis[bi] {
-                                    best = Some((i, ratio));
-                                }
-                            } else if a > w[bi] {
-                                best = Some((i, ratio));
-                            }
-                        }
-                    }
+    /// Dual simplex phase: from a dual-feasible basis, repeatedly drive the
+    /// most bound-violating basic variable to the bound it violates,
+    /// choosing the entering column by the dual ratio test so reduced costs
+    /// keep their optimality signs. Terminates at primal feasibility (then
+    /// phase 2 finishes, usually pivot-free) or proves the LP infeasible
+    /// (dual unbounded) — though callers on the warm path re-derive that
+    /// verdict cold.
+    fn dual_phase(&mut self) -> Result<(), SolverError> {
+        let costs = &self.inst.costs;
+        loop {
+            if self.work() > self.opts.iter_limit {
+                return Err(SolverError::IterationLimit {
+                    pivots: self.stats.total_pivots(),
+                });
+            }
+            // Leaving: the most bound-violating basic variable (first one
+            // under Bland).
+            let mut leave: Option<(usize, f64, bool)> = None;
+            for i in 0..self.inst.m {
+                let v = self.x_b[i];
+                let ubi = self.ub(self.basis[i], 2);
+                let (viol, above) = if v < -self.opts.feas_tol {
+                    (-v, false)
+                } else if v > ubi + self.opts.feas_tol {
+                    (v - ubi, true)
+                } else {
+                    continue;
+                };
+                let better = match leave {
+                    None => true,
+                    Some((_, best, _)) => !self.bland && viol > best,
+                };
+                if better {
+                    leave = Some((i, viol, above));
                 }
             }
+            let Some((r, _, above)) = leave else {
+                return Ok(()); // Primal feasible: dual reoptimization done.
+            };
+            let y = self.prices(costs);
+            let rho = {
+                let mut e = vec![0.0; self.inst.m];
+                e[r] = 1.0;
+                self.fac.btran(&mut e);
+                e
+            };
+            // Entering: minimum dual ratio |d_j| / |alpha_j| over columns
+            // whose movement pushes x_B[r] back toward the violated bound.
+            let mut best: Option<(usize, f64, f64, f64)> = None; // (j, ratio, |alpha|, dir)
+            for j in 0..self.inst.art_start {
+                if self.in_basis[j] || self.ub(j, 2) <= 0.0 {
+                    continue;
+                }
+                // One pass over the column prices it against both vectors.
+                let (alpha, ay) = self.inst.a.col_dot2(j, &rho, &y);
+                if alpha.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let dir = if self.at_upper[j] { -1.0 } else { 1.0 };
+                // x_B[r] moves by `-dir * alpha` per unit step; it must
+                // move down when above its upper bound, up when below zero.
+                let movement = -dir * alpha;
+                if (above && movement >= 0.0) || (!above && movement <= 0.0) {
+                    continue;
+                }
+                let d = costs[j] - ay;
+                let dres = if self.at_upper[j] {
+                    (-d).max(0.0)
+                } else {
+                    d.max(0.0)
+                };
+                let ratio = dres / alpha.abs();
+                let better = match best {
+                    None => true,
+                    Some((bj, bratio, balpha, _)) => {
+                        let tol = 1e-10 * (1.0 + bratio.abs());
+                        if ratio < bratio - tol {
+                            true
+                        } else if (ratio - bratio).abs() <= tol {
+                            if self.bland {
+                                j < bj
+                            } else {
+                                alpha.abs() > balpha
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if better {
+                    best = Some((j, ratio, alpha.abs(), dir));
+                }
+            }
+            let Some((q, ratio, _, dir)) = best else {
+                // Dual unbounded: no column can repair the violated row, so
+                // the LP is primal infeasible.
+                return Err(SolverError::Infeasible);
+            };
+            let w = self.ftran_col(q);
+            if w[r].abs() < 1e-7 && self.fac.has_updates() {
+                self.refactorize()?;
+                continue;
+            }
+            if w[r].abs() <= self.opts.pivot_tol {
+                return Err(SolverError::Numerical {
+                    context: "dual pivot element vanished after refactorization".into(),
+                });
+            }
+            // Step length that lands x_B[r] exactly on its violated bound.
+            let target = if above {
+                self.ub(self.basis[r], 2)
+            } else {
+                0.0
+            };
+            let t = ((self.x_b[r] - target) / (dir * w[r])).max(0.0);
+            self.apply_pivot(r, q, dir, t, above, &w)?;
+            self.stats.dual_pivots += 1;
+            if ratio <= self.opts.rc_tol {
+                self.degenerate_run += 1;
+                if self.degenerate_run >= self.opts.degeneracy_threshold {
+                    self.bland = true;
+                }
+            } else {
+                self.degenerate_run = 0;
+            }
         }
-        best.map(|(i, _)| i)
     }
 
     /// FTRAN of column `j` of the constraint matrix.
@@ -432,27 +784,60 @@ impl<'a> Solver<'a> {
         w
     }
 
-    /// Replaces the basis column at `slot` by `col`, updating `x_B` and the
+    /// Replaces the basis column at `slot` by `col` entering with step `t`
+    /// in direction `dir`, updating `x_B`, the bound-side flags, and the
     /// factorization (refactorizing when the eta file is full or the
     /// product-form update is rejected).
-    fn apply_pivot(&mut self, slot: usize, col: usize, w: &[f64]) -> Result<(), SolverError> {
-        let theta = if self.x_b[slot].abs() <= 1e-12 {
-            0.0
-        } else {
-            self.x_b[slot] / w[slot]
-        };
+    fn apply_pivot(
+        &mut self,
+        slot: usize,
+        col: usize,
+        dir: f64,
+        t: f64,
+        leave_at_upper: bool,
+        w: &[f64],
+    ) -> Result<(), SolverError> {
         for (xi, &wi) in self.x_b.iter_mut().zip(w) {
-            *xi -= theta * wi;
+            *xi -= dir * t * wi;
         }
-        self.x_b[slot] = theta.max(0.0);
-        self.in_basis[self.basis[slot]] = false;
+        // The entering column's new basic value, measured from the bound it
+        // left. (Entering from the upper bound implies that bound is
+        // finite.)
+        let enter_val = if dir > 0.0 {
+            t
+        } else {
+            self.inst.upper[col] - t
+        };
+        let leaving = self.basis[slot];
+        self.in_basis[leaving] = false;
+        // Artificial columns always rest at zero once nonbasic (their
+        // phase-2 bounds are [0, 0]); other columns record which bound they
+        // left at.
+        self.at_upper[leaving] = leave_at_upper && leaving < self.inst.art_start;
         self.basis[slot] = col;
         self.in_basis[col] = true;
+        self.at_upper[col] = false;
+        self.x_b[slot] = enter_val;
         let ok = self.fac.update(slot, w);
         if !ok || self.fac.needs_refactor() {
             self.refactorize()?;
         }
         Ok(())
+    }
+
+    /// Recomputes `x_B = B⁻¹ (b - Σ_{j at upper} u_j a_j)` from scratch.
+    fn recompute_xb(&mut self) {
+        let mut x = self.inst.b.clone();
+        for j in 0..self.inst.ntot {
+            if self.at_upper[j] && !self.in_basis[j] {
+                let u = self.inst.upper[j];
+                for (r, v) in self.inst.a.col(j) {
+                    x[r] -= u * v;
+                }
+            }
+        }
+        self.fac.ftran(&mut x);
+        self.x_b = x;
     }
 
     /// Rebuilds the factorization from the current basis and recomputes
@@ -476,43 +861,63 @@ impl<'a> Solver<'a> {
             context: "basis became singular on refactorization".into(),
         })?;
         self.fac = fac;
-        let mut x = self.inst.b.clone();
-        self.fac.ftran(&mut x);
-        for v in &mut x {
-            if *v < 0.0 && *v > -1e-9 {
-                *v = 0.0;
-            }
-        }
-        self.x_b = x;
+        self.recompute_xb();
         Ok(())
     }
 
     /// Extracts structural values, the phase-2 objective, pivot counters,
-    /// and the final basis.
-    fn extract(&self) -> RevisedOutcome {
+    /// and the final basis state. The basic columns are first sorted into
+    /// canonical order and the basis refactorized with `x_B` recomputed
+    /// from scratch — slot order is pivot-path history, so without this a
+    /// warm and a cold solve finishing at the same basis could disagree in
+    /// the last floating-point bits. After canonicalization the returned
+    /// values are a pure function of the final `(basis set, at_upper)`
+    /// state.
+    fn extract(&mut self) -> Result<RevisedOutcome, SolverError> {
+        let sorted = self.basis.windows(2).all(|w| w[0] < w[1]);
+        if !sorted || self.fac.has_updates() {
+            self.basis.sort_unstable();
+            self.refactorize()?;
+        }
         let mut x = vec![0.0; self.inst.n];
+        for (j, xv) in x.iter_mut().enumerate() {
+            if self.at_upper[j] && !self.in_basis[j] {
+                *xv = self.inst.upper[j];
+            }
+        }
         for (i, &c) in self.basis.iter().enumerate() {
             if c < self.inst.n {
                 x[c] = self.x_b[i];
             }
         }
-        for v in &mut x {
+        for (j, v) in x.iter_mut().enumerate() {
+            // Clamp tiny pivoting noise back into the variable's range.
             if *v < 0.0 && *v > -1e-9 {
                 *v = 0.0;
             }
+            let u = self.inst.upper[j];
+            if u.is_finite() && *v > u && *v < u + 1e-9 {
+                *v = u;
+            }
         }
-        let objective: f64 = self
+        let mut objective: f64 = self
             .basis
             .iter()
             .zip(&self.x_b)
             .map(|(&c, &v)| self.inst.costs[c] * v)
             .sum();
-        RevisedOutcome {
+        for j in 0..self.inst.n {
+            if self.at_upper[j] && !self.in_basis[j] {
+                objective += self.inst.costs[j] * self.inst.upper[j];
+            }
+        }
+        Ok(RevisedOutcome {
             x,
             objective,
             stats: self.stats,
             basis: self.basis.clone(),
-        }
+            at_upper: self.at_upper.clone(),
+        })
     }
 }
 
@@ -532,11 +937,27 @@ mod tests {
                 (terms, cmp, rhs)
             })
             .collect();
-        StandardForm { ncols, costs, rows }
+        StandardForm {
+            ncols,
+            costs,
+            rows,
+            upper: vec![f64::INFINITY; ncols],
+        }
     }
 
     fn solve(lp: &StandardForm) -> Result<RevisedOutcome, SolverError> {
         solve_revised(lp, &SimplexOptions::default(), None)
+    }
+
+    fn solve_hinted(
+        lp: &StandardForm,
+        hint: &RevisedOutcome,
+    ) -> Result<RevisedOutcome, SolverError> {
+        solve_revised(
+            lp,
+            &SimplexOptions::default(),
+            Some((&hint.basis, &hint.at_upper)),
+        )
     }
 
     #[test]
@@ -616,6 +1037,40 @@ mod tests {
     }
 
     #[test]
+    fn implicit_upper_bounds_bind() {
+        // min -x - y s.t. x + y <= 3, x <= 1, y <= 1.5 via column bounds.
+        let mut lp = std_lp(2, vec![-1.0, -1.0], vec![(vec![1.0, 1.0], Cmp::Le, 3.0)]);
+        lp.upper = vec![1.0, 1.5];
+        let out = solve(&lp).unwrap();
+        assert!((out.objective + 2.5).abs() < 1e-9, "obj={}", out.objective);
+        assert!((out.x[0] - 1.0).abs() < 1e-9);
+        assert!((out.x[1] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_flip_happens_without_basis_change() {
+        // min -x with x <= 2 and a slack-only row that never binds: the
+        // optimal move is a pure bound flip of x to its upper bound.
+        let mut lp = std_lp(1, vec![-1.0], vec![(vec![1.0], Cmp::Le, 10.0)]);
+        lp.upper = vec![2.0];
+        let out = solve(&lp).unwrap();
+        assert!((out.x[0] - 2.0).abs() < 1e-12);
+        assert!((out.objective + 2.0).abs() < 1e-12);
+        assert!(out.stats.bound_flips >= 1, "stats={:?}", out.stats);
+        assert_eq!(out.stats.total_pivots(), 0, "stats={:?}", out.stats);
+    }
+
+    #[test]
+    fn bounded_only_unbounded_direction_is_capped() {
+        // max x + y with x free of rows, x <= 5, y <= 1: bounded purely by
+        // column bounds (no binding rows at all besides a slack row).
+        let mut lp = std_lp(2, vec![-1.0, -1.0], vec![(vec![1.0, 0.0], Cmp::Le, 100.0)]);
+        lp.upper = vec![5.0, 1.0];
+        let out = solve(&lp).unwrap();
+        assert!((out.objective + 6.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn warm_start_from_optimal_basis_is_pivot_free() {
         let lp = std_lp(
             2,
@@ -626,8 +1081,10 @@ mod tests {
             ],
         );
         let cold = solve(&lp).unwrap();
-        let warm = solve_revised(&lp, &SimplexOptions::default(), Some(&cold.basis)).unwrap();
+        let warm = solve_hinted(&lp, &cold).unwrap();
         assert_eq!(warm.stats.total_pivots(), 0);
+        assert_eq!(warm.stats.warm_hits, 1);
+        assert_eq!(warm.stats.warm_falls_back, 0);
         assert!((warm.objective - cold.objective).abs() < 1e-12);
         assert_eq!(warm.x, cold.x);
     }
@@ -646,19 +1103,92 @@ mod tests {
         };
         let cold4 = solve(&mk(4.0)).unwrap();
         // Loosen the first row: the old basis stays feasible, phase 2 only.
-        let warm6 =
-            solve_revised(&mk(6.0), &SimplexOptions::default(), Some(&cold4.basis)).unwrap();
+        let warm6 = solve_hinted(&mk(6.0), &cold4).unwrap();
         let cold6 = solve(&mk(6.0)).unwrap();
         assert!((warm6.objective - cold6.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tightened_rhs_takes_the_dual_path() {
+        // max 3x + 2y s.t. x + y <= cap, x <= 2. Tightening cap makes the
+        // old basis primal infeasible but dual feasible: the warm solve
+        // must repair it with dual pivots, not a cold restart.
+        let mk = |cap: f64| {
+            std_lp(
+                2,
+                vec![-3.0, -2.0],
+                vec![
+                    (vec![1.0, 1.0], Cmp::Le, cap),
+                    (vec![1.0, 0.0], Cmp::Le, 2.0),
+                ],
+            )
+        };
+        let cold6 = solve(&mk(6.0)).unwrap();
+        let warm4 = solve_hinted(&mk(4.0), &cold6).unwrap();
+        let cold4 = solve(&mk(4.0)).unwrap();
+        assert!((warm4.objective - cold4.objective).abs() < 1e-9);
+        assert_eq!(warm4.stats.warm_hits, 1);
+        assert_eq!(warm4.stats.warm_falls_back, 0);
+        assert_eq!(warm4.stats.pivots_phase1, 0);
+    }
+
+    #[test]
+    fn rising_floor_sequence_dual_reoptimizes() {
+        // Water-filling shape: max t = 2 x0 + x1 under a shared budget,
+        // while a *bottlenecked* job's floor (a `>=` row without the t
+        // term) rises round over round — exactly the LP family the
+        // hierarchical policy re-solves. The first rounds leave the old
+        // basis primal feasible (its surplus absorbs the rise); once the
+        // floor crosses the surplus level the basis turns primal
+        // infeasible but stays dual feasible, forcing a dual pivot. No
+        // round may ever cold-start.
+        let mk = |floor: f64| {
+            std_lp(
+                3,
+                vec![0.0, 0.0, -1.0],
+                vec![
+                    (vec![1.0, 1.0, 0.0], Cmp::Le, 1.0),
+                    (vec![2.0, 1.0, -1.0], Cmp::Ge, 0.0),
+                    (vec![1.0, 2.0, 0.0], Cmp::Ge, floor),
+                ],
+            )
+        };
+        let mut hint = solve(&mk(0.5)).unwrap();
+        let mut dual_pivots = 0;
+        for r in 1..6 {
+            let floor = 0.5 + 0.25 * r as f64;
+            let warm = solve_hinted(&mk(floor), &hint).unwrap();
+            let cold = solve(&mk(floor)).unwrap();
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-9,
+                "round {r}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert_eq!(warm.stats.warm_falls_back, 0, "round {r} fell back");
+            assert_eq!(warm.stats.pivots_phase1, 0, "round {r} ran phase 1");
+            dual_pivots += warm.stats.dual_pivots;
+            hint = warm;
+        }
+        assert!(dual_pivots > 0, "no dual pivots over the whole sequence");
     }
 
     #[test]
     fn bogus_hints_fall_back_to_cold() {
         let lp = std_lp(2, vec![-1.0, -1.0], vec![(vec![1.0, 1.0], Cmp::Le, 1.0)]);
         let cold = solve(&lp).unwrap();
-        for hint in [vec![], vec![0, 0], vec![99], vec![7, 7, 7]] {
-            let warm = solve_revised(&lp, &SimplexOptions::default(), Some(&hint)).unwrap();
+        let bogus: [(Vec<usize>, Vec<bool>); 4] = [
+            (vec![], vec![]),
+            (vec![0, 0], vec![false; 3]),
+            (vec![99], vec![false; 3]),
+            (vec![7, 7, 7], vec![false; 3]),
+        ];
+        for (basis, at_upper) in &bogus {
+            let warm =
+                solve_revised(&lp, &SimplexOptions::default(), Some((basis, at_upper))).unwrap();
             assert!((warm.objective - cold.objective).abs() < 1e-12);
+            assert_eq!(warm.stats.warm_falls_back, 1);
+            assert_eq!(warm.stats.warm_hits, 0);
         }
     }
 }

@@ -1,24 +1,34 @@
 //! Dense two-phase primal simplex.
 //!
 //! Operates on the standard form `min c'x` subject to
-//! `A x {<=,>=,=} b, x >= 0` produced by [`crate::problem`]. The
+//! `A x {<=,>=,=} b, 0 <= x <= u` produced by [`crate::problem`]. The
 //! implementation keeps the full tableau in row-major storage, prices with
 //! Dantzig's rule, and permanently switches to Bland's rule once a run of
 //! degenerate pivots suggests cycling. Artificial variables are driven out of
 //! the basis after phase 1 and banned from entering in phase 2.
+//!
+//! Finite column upper bounds are *not* handled implicitly here: the dense
+//! engine expands each `x_j <= u_j` into an explicit `<=` row before
+//! building the tableau. That deliberately keeps this engine independent of
+//! the bounded-variable machinery in [`crate::revised`], so differential
+//! tests and the `GAVEL_LP_CROSSCHECK` oracle exercise the implicit-bound
+//! path against a row-based implementation of the same LP.
 
 use crate::error::SolverError;
 use crate::problem::Cmp;
 
 /// A linear program in standard form: minimize `costs . x` subject to the
-/// rows, with `x >= 0`.
+/// rows, with `0 <= x <= upper` (componentwise; `upper` entries may be
+/// `+inf`).
 ///
 /// Rows are stored sparsely as `(column, coefficient)` terms — the policy
 /// LPs this crate serves have a handful of nonzeros per row regardless of
 /// problem size. Column indices within a row are unique and sorted (the
 /// lowering in [`crate::problem`] guarantees this); the dense tableau
 /// scatters them, the revised simplex ([`crate::revised`]) keeps them
-/// sparse end to end.
+/// sparse end to end. Finite entries of `upper` ride on the columns: the
+/// revised engine honors them in its ratio test, the dense engine lowers
+/// them to explicit rows on entry.
 #[derive(Debug, Clone)]
 pub struct StandardForm {
     /// Number of structural columns.
@@ -27,6 +37,9 @@ pub struct StandardForm {
     pub costs: Vec<f64>,
     /// Constraint rows.
     pub rows: Vec<StdRow>,
+    /// Per-column upper bounds (`f64::INFINITY` when absent). Lower bounds
+    /// are always zero in standard form.
+    pub upper: Vec<f64>,
 }
 
 /// One standard-form row: sparse `(column, coefficient)` terms, the
@@ -64,19 +77,49 @@ impl Default for SimplexOptions {
     }
 }
 
-/// Pivot counters reported with every solution.
+/// Pivot and warm-path counters reported with every solution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Pivots performed in phase 1 (feasibility search).
     pub pivots_phase1: usize,
     /// Pivots performed in phase 2 (optimality search).
     pub pivots_phase2: usize,
+    /// Dual-simplex pivots performed while reoptimizing a warm basis that
+    /// was primal infeasible but dual feasible (revised engine only).
+    pub dual_pivots: usize,
+    /// Bound-flip pivots: a nonbasic variable jumped between its lower and
+    /// upper bound without any basis change (revised engine only).
+    pub bound_flips: usize,
+    /// 1 when a warm-start hint was accepted and carried the solve to
+    /// optimality (primal continuation or dual reoptimization), else 0.
+    pub warm_hits: usize,
+    /// 1 when a warm-start hint was provided but unusable (structure
+    /// mismatch, singular basis, neither primal nor dual feasible, or the
+    /// warm attempt failed part-way) and the solve cold-started, else 0.
+    pub warm_falls_back: usize,
+    /// 1 when the revised engine lost numerical control and the solve was
+    /// retried on the dense tableau oracle, else 0.
+    pub dense_fallbacks: usize,
 }
 
 impl SolveStats {
-    /// Total pivots across both phases.
+    /// Total basis-changing pivots (phase 1 + phase 2 + dual). Bound flips
+    /// are excluded: they move a nonbasic variable without touching the
+    /// basis.
     pub fn total_pivots(&self) -> usize {
-        self.pivots_phase1 + self.pivots_phase2
+        self.pivots_phase1 + self.pivots_phase2 + self.dual_pivots
+    }
+
+    /// Sums every counter of `other` into `self` — used by drivers that
+    /// aggregate over many solves (branch-and-bound, bisection).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.pivots_phase1 += other.pivots_phase1;
+        self.pivots_phase2 += other.pivots_phase2;
+        self.dual_pivots += other.dual_pivots;
+        self.bound_flips += other.bound_flips;
+        self.warm_hits += other.warm_hits;
+        self.warm_falls_back += other.warm_falls_back;
+        self.dense_fallbacks += other.dense_fallbacks;
     }
 }
 
@@ -99,10 +142,32 @@ impl LpSolution {
 }
 
 /// Solves a standard-form LP. Returns `(x, objective, stats)`.
+///
+/// Finite column upper bounds are expanded into explicit `x_j <= u_j` rows
+/// first (see the module docs), so the tableau itself only ever sees
+/// nonnegative variables.
 pub fn solve_standard(
     lp: &StandardForm,
     opts: &SimplexOptions,
 ) -> Result<(Vec<f64>, f64, SolveStats), SolverError> {
+    let expanded;
+    let lp = if lp.upper.iter().any(|u| u.is_finite()) {
+        let mut rows = lp.rows.clone();
+        for (j, &u) in lp.upper.iter().enumerate() {
+            if u.is_finite() {
+                rows.push((vec![(j, 1.0)], Cmp::Le, u));
+            }
+        }
+        expanded = StandardForm {
+            ncols: lp.ncols,
+            costs: lp.costs.clone(),
+            rows,
+            upper: vec![f64::INFINITY; lp.ncols],
+        };
+        &expanded
+    } else {
+        lp
+    };
     let mut t = Tableau::build(lp, opts);
     t.phase1()?;
     t.phase2()?;
@@ -470,7 +535,12 @@ mod tests {
                 (terms, cmp, rhs)
             })
             .collect();
-        StandardForm { ncols, costs, rows }
+        StandardForm {
+            ncols,
+            costs,
+            rows,
+            upper: vec![f64::INFINITY; ncols],
+        }
     }
 
     #[test]
@@ -581,6 +651,17 @@ mod tests {
         let (x, obj, _) = solve_standard(&lp, &SimplexOptions::default()).unwrap();
         assert!((obj - 2.0).abs() < 1e-8);
         assert!((x[0] + x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn column_uppers_expand_to_rows() {
+        // min -x - y s.t. x + y <= 3, x <= 1, y <= 1.5 (as column bounds).
+        let mut lp = std_lp(2, vec![-1.0, -1.0], vec![(vec![1.0, 1.0], Cmp::Le, 3.0)]);
+        lp.upper = vec![1.0, 1.5];
+        let (x, obj, _) = solve_standard(&lp, &SimplexOptions::default()).unwrap();
+        assert!((obj + 2.5).abs() < 1e-9, "obj={obj}");
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.5).abs() < 1e-9);
     }
 
     #[test]

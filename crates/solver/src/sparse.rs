@@ -32,6 +32,20 @@ impl CscMatrix {
         col_ptr.push(0);
         let mut merged: Vec<(usize, f64)> = Vec::new();
         for col in columns {
+            // Fast path: the simplex instance builder emits columns with
+            // strictly increasing row indices, so most columns need no
+            // sort-and-merge at all.
+            if col.windows(2).all(|w| w[0].0 < w[1].0) {
+                for &(r, v) in col {
+                    debug_assert!(r < nrows, "row index out of range");
+                    if v != 0.0 {
+                        row_idx.push(r);
+                        values.push(v);
+                    }
+                }
+                col_ptr.push(row_idx.len());
+                continue;
+            }
             merged.clear();
             merged.extend_from_slice(col);
             merged.sort_unstable_by_key(|&(r, _)| r);
@@ -97,6 +111,20 @@ impl CscMatrix {
             acc += y[r] * v;
         }
         acc
+    }
+
+    /// Two sparse dot products of column `j` against two dense vectors in
+    /// one pass over the column's nonzeros — the dual simplex prices every
+    /// candidate column against both the dual prices and a row of `B⁻¹`,
+    /// and the fused loop halves that scan.
+    pub fn col_dot2(&self, j: usize, y: &[f64], z: &[f64]) -> (f64, f64) {
+        let mut acc_y = 0.0;
+        let mut acc_z = 0.0;
+        for (r, v) in self.col(j) {
+            acc_y += y[r] * v;
+            acc_z += z[r] * v;
+        }
+        (acc_y, acc_z)
     }
 
     /// Scatters column `j` into a dense work vector, returning the touched

@@ -1,0 +1,251 @@
+//! Tests for the bounded-variable lowering and the dual-simplex warm path.
+//!
+//! Two property families back the PR-level guarantees:
+//!
+//! 1. **Implicit vs explicit bounds.** A random LP whose variables carry
+//!    finite upper bounds solves identically whether the bounds ride on
+//!    columns (the revised engine's implicit path), are expanded to rows by
+//!    the dense oracle, or are handed to the builder as explicit `<=`
+//!    constraints — three independently-lowered formulations of one LP.
+//! 2. **Dual reoptimization over rising floors.** Chained warm solves of a
+//!    water-filling round sequence (floors only rise) return allocations
+//!    *bit-identical* to cold solves of the same rounds, never fall back
+//!    to a cold start, and never run phase 1.
+
+use gavel_solver::{Cmp, LpProblem, Sense, VarId, WarmStart};
+use proptest::prelude::*;
+
+/// Builds the bounded LP both ways: bounds on columns vs bounds as rows.
+fn bounded_pair(
+    n: usize,
+    costs: &[f64],
+    uppers: &[f64],
+    coeffs: &[f64],
+    rhs: &[f64],
+    m: usize,
+) -> (LpProblem, LpProblem) {
+    let mut implicit = LpProblem::new(Sense::Maximize);
+    let mut explicit = LpProblem::new(Sense::Maximize);
+    let iv: Vec<VarId> = (0..n)
+        .map(|i| implicit.add_var(&format!("x{i}"), 0.0, uppers[i], costs[i]))
+        .collect();
+    let ev: Vec<VarId> = (0..n)
+        .map(|i| explicit.add_var(&format!("x{i}"), 0.0, f64::INFINITY, costs[i]))
+        .collect();
+    for i in 0..n {
+        explicit.add_constraint(&[(ev[i], 1.0)], Cmp::Le, uppers[i]);
+    }
+    for r in 0..m {
+        let it: Vec<(VarId, f64)> = iv
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, coeffs[r * n + i]))
+            .collect();
+        let et: Vec<(VarId, f64)> = ev
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, coeffs[r * n + i]))
+            .collect();
+        implicit.add_constraint(&it, Cmp::Le, rhs[r]);
+        explicit.add_constraint(&et, Cmp::Le, rhs[r]);
+    }
+    (implicit, explicit)
+}
+
+/// Builds one water-filling round LP: `max t` over 3 accelerator types
+/// with per-job time budgets, *tight* per-type capacity (every unit of
+/// capacity stays contested, which keeps the optimum generically unique
+/// even once jobs drop out of the objective), `floor + t` throughput rows
+/// for active jobs and plain floor rows for bottlenecked ones. Rising a
+/// bottlenecked job's floor past the old surplus is what forces dual
+/// pivots; a still-active job's rise is absorbed by `t` shrinking.
+fn round_lp(n: usize, tputs: &[f64], floors: &[f64], active: &[bool]) -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let xs: Vec<Vec<VarId>> = (0..n)
+        .map(|m| {
+            (0..3)
+                .map(|j| lp.add_var(&format!("x{m}_{j}"), 0.0, f64::INFINITY, 0.0))
+                .collect()
+        })
+        .collect();
+    let t = lp.add_var("t", 0.0, f64::INFINITY, 1.0);
+    for (m, row) in xs.iter().enumerate() {
+        let budget: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget, Cmp::Le, 1.0);
+        let mut tput: Vec<(VarId, f64)> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, tputs[(m * 3 + j) % tputs.len()]))
+            .collect();
+        if active[m] {
+            tput.push((t, -1.0));
+        }
+        lp.add_constraint(&tput, Cmp::Ge, floors[m]);
+    }
+    for j in 0..3 {
+        let cap: Vec<(VarId, f64)> = xs.iter().map(|row| (row[j], 1.0)).collect();
+        lp.add_constraint(&cap, Cmp::Le, (n as f64 / 6.0).max(0.7));
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Implicit column bounds, dense row expansion, and explicit `<=`
+    /// constraints are three lowerings of the same LP: all objectives
+    /// agree, and the implicit path adds zero rows to the standard form.
+    #[test]
+    fn implicit_bounds_match_explicit_rows(
+        n in 2usize..5,
+        m in 1usize..4,
+        costs in proptest::collection::vec(-4.0f64..4.0, 5),
+        uppers in proptest::collection::vec(0.25f64..3.0, 5),
+        coeffs in proptest::collection::vec(-2.0f64..3.0, 20),
+        rhs in proptest::collection::vec(0.5f64..6.0, 4),
+    ) {
+        let (implicit, explicit) = bounded_pair(n, &costs[..n], &uppers[..n], &coeffs, &rhs, m);
+        // The implicit lowering must not manufacture rows for the bounds.
+        prop_assert_eq!(
+            implicit.num_standard_rows().unwrap(),
+            implicit.num_constraints()
+        );
+        // x = 0 is feasible and all variables are boxed: always solvable.
+        let viai = implicit.solve().unwrap(); // revised, implicit bounds
+        let viad = implicit.solve_dense().unwrap(); // dense, expanded rows
+        let viae = explicit.solve().unwrap(); // revised, bounds as rows
+        let scale = 1.0 + viai.objective.abs();
+        prop_assert!(
+            (viai.objective - viad.objective).abs() < 1e-6 * scale,
+            "implicit revised {} vs dense oracle {}",
+            viai.objective,
+            viad.objective
+        );
+        prop_assert!(
+            (viai.objective - viae.objective).abs() < 1e-6 * scale,
+            "implicit {} vs explicit-row {}",
+            viai.objective,
+            viae.objective
+        );
+        // The returned point respects its bounds.
+        for (i, &v) in viai.values.iter().enumerate() {
+            prop_assert!(v >= -1e-9 && v <= uppers[i] + 1e-9, "x{i}={v}");
+        }
+    }
+
+    /// A rising-floor round sequence with progressive bottlenecking (the
+    /// exact perturbation pattern `Hierarchical` makes) re-solved through
+    /// chained warm starts: every warm re-solve is a warm hit (no cold
+    /// fallback, no phase 1 — the dual phase absorbs the risen floors),
+    /// objectives match cold solves to tight tolerance, and whenever warm
+    /// and cold finish at the same final basis state — the generic,
+    /// nondegenerate case — the allocations are bit-identical. (On a
+    /// degenerate optimum the two paths may legitimately stop at different
+    /// optimal bases of the *same* vertex, where last-bit equality is not
+    /// a sound claim; the fixed-instance test below pins full bitwise
+    /// equality unconditionally.)
+    #[test]
+    fn rising_floor_dual_reopt_matches_cold(
+        n in 3usize..7,
+        tputs in proptest::collection::vec(0.5f64..4.0, 21),
+        rises in proptest::collection::vec(0.05f64..0.3, 6),
+        victims in proptest::collection::vec(0usize..16, 2),
+    ) {
+        let mut floors = vec![0.0f64; n];
+        let mut active = vec![true; n];
+        let mut cache: Option<WarmStart> = None;
+        for (r, rise) in rises.iter().enumerate() {
+            let lp = round_lp(n, &tputs, &floors, &active);
+            let (cold, cold_state) = lp.solve_warm(None).unwrap();
+            let (warm, basis) = lp.solve_warm(cache.as_ref()).unwrap();
+            // A deactivation rewrites the constraint *matrix* (the t
+            // column), so the first round after one may legitimately fall
+            // back. Once the victims are spent, rounds differ from their
+            // predecessor only in floors: those must always warm-hit.
+            if r > victims.len() {
+                prop_assert_eq!(
+                    warm.stats.warm_falls_back, 0,
+                    "round {} fell back to cold: {:?}", r, warm.stats
+                );
+                prop_assert_eq!(
+                    warm.stats.pivots_phase1, 0,
+                    "round {} ran phase 1: {:?}", r, warm.stats
+                );
+            }
+            let scale = 1.0 + cold.objective.abs();
+            prop_assert!(
+                (warm.objective - cold.objective).abs() < 1e-8 * scale,
+                "round {}: warm {} vs cold {}", r, warm.objective, cold.objective
+            );
+            let same_state = basis.basic_columns() == cold_state.basic_columns()
+                && basis.at_upper_flags() == cold_state.at_upper_flags();
+            if same_state {
+                for (i, (w, c)) in warm.values.iter().zip(&cold.values).enumerate() {
+                    prop_assert!(
+                        w.to_bits() == c.to_bits(),
+                        "round {}: same basis state but value {} differs: {} vs {}",
+                        r, i, w, c
+                    );
+                }
+            }
+            cache = Some(basis);
+            // Raise active floors like a water-filling iteration (rise < 1
+            // keeps the next round feasible by construction), then
+            // bottleneck scheduled victims: their weight leaves the
+            // objective and their floor freezes at the achieved level.
+            let t_star = warm.objective.max(0.1);
+            for m2 in 0..n {
+                if active[m2] {
+                    floors[m2] += rise * t_star;
+                }
+            }
+            if let Some(&v) = victims.get(r) {
+                active[v % n] = false;
+            }
+        }
+    }
+}
+
+/// Fixed rising-floor instance: full bitwise warm-equals-cold every round,
+/// with the dual path provably exercised. (The proptest above covers the
+/// same flow over random instances; this pins an instance where the
+/// optimum stays nondegenerate so bit-identity must hold unconditionally.)
+#[test]
+fn fixed_rising_floor_sequence_is_bit_identical_and_dual_reoptimized() {
+    let tputs: Vec<f64> = (0..21).map(|i| 0.43 + 0.29 * i as f64).collect();
+    let n = 4;
+    let mut active = vec![true; n];
+    active[n - 1] = false; // one bottlenecked job from the start
+    let mut floors = vec![0.0f64; n];
+    let mut cache: Option<WarmStart> = None;
+    let mut dual_pivots = 0;
+    for r in 0..8 {
+        let lp = round_lp(n, &tputs, &floors, &active);
+        let cold = lp.solve().unwrap();
+        let (warm, basis) = lp.solve_warm(cache.as_ref()).unwrap();
+        if r > 0 {
+            assert_eq!(warm.stats.warm_falls_back, 0, "round {r}: {:?}", warm.stats);
+            assert_eq!(warm.stats.pivots_phase1, 0, "round {r}: {:?}", warm.stats);
+        }
+        dual_pivots += warm.stats.dual_pivots;
+        cache = Some(basis);
+        for (i, (w, c)) in warm.values.iter().zip(&cold.values).enumerate() {
+            assert!(
+                w.to_bits() == c.to_bits(),
+                "round {r}: value {i} differs bitwise: warm {w} vs cold {c}"
+            );
+        }
+        let t_star = warm.objective.max(0.1);
+        for (m, f) in floors.iter_mut().enumerate() {
+            *f += if active[m] {
+                0.11 * t_star
+            } else {
+                0.09 * r as f64
+            };
+        }
+    }
+    assert!(
+        dual_pivots > 0,
+        "dual path never exercised on the fixed sequence"
+    );
+}
