@@ -1,0 +1,258 @@
+//! Benchmarks the simulation engine's incremental policy-input snapshots
+//! and the incremental round planner:
+//!
+//! - `recompute/*` — steady-state recompute cost at 512–2048 active jobs:
+//!   the `SnapshotCache` assembling combos + tensor from cached rows vs a
+//!   full `build_tensor_with_pairs` rebuild (O(n²) oracle pair lookups);
+//! - `churn/*` — the reset-event pattern the simulator actually runs: one
+//!   completion + one arrival + one recompute per iteration, cached vs
+//!   rebuilt;
+//! - `plan/*` — the round planner with the generation-keyed candidate
+//!   buffer (same allocation replanned round after round) vs the
+//!   full-extraction path.
+//!
+//! Gates (panics, run by CI at smoke scale):
+//!
+//! - the cached path must never fall back to a full rebuild
+//!   (`SnapshotStats::full_rebuilds == 0`);
+//! - the cached recompute must beat the full rebuild by ≥ 3x at 1024+
+//!   jobs (the headline win of the incremental snapshot refactor);
+//! - cached and fresh snapshots must be row-for-row identical, and cached
+//!   and fresh round plans assignment-for-assignment identical, on every
+//!   sized instance.
+//!
+//! Emits a machine-readable `BENCH_sim.json` (one JSON object per line)
+//! next to `BENCH_solver.json` for the perf trajectory; override the
+//! location with `GAVEL_BENCH_JSON`.
+
+use criterion::{BenchmarkId, Criterion};
+use gavel_core::{Allocation, ComboSet, JobId, PolicyJob};
+use gavel_sched::RoundScheduler;
+use gavel_sim::SnapshotCache;
+use gavel_workloads::{
+    build_tensor_with_pairs, cluster_scaled, JobConfig, JobSpec, Oracle, PairOptions,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn spec(id: u64) -> JobSpec {
+    let all = JobConfig::all();
+    JobSpec {
+        id: JobId(id),
+        config: all[(id as usize * 7 + 3) % all.len()],
+        scale_factor: 1,
+    }
+}
+
+/// A populated cache plus the mirrored spec vector, `n` jobs strong.
+fn populated(n: usize, opts: PairOptions) -> (SnapshotCache, Vec<JobSpec>, Oracle) {
+    let oracle = Oracle::new();
+    let mut cache = SnapshotCache::new(true, Some(opts));
+    let mut specs = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let s = spec(i);
+        cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+        specs.push(s);
+    }
+    (cache, specs, oracle)
+}
+
+/// Pair pruning at bench scale: the simulator's default per-job cap with a
+/// threshold high enough to keep candidate lists realistic.
+fn opts() -> PairOptions {
+    PairOptions::default()
+}
+
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Steady-state recompute: snapshot assembly vs full rebuild.
+fn bench_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recompute");
+    group.sample_size(10);
+    for &n in &[512usize, 1024, 2048] {
+        let (mut cache, specs, oracle) = populated(n, opts());
+
+        // Correctness gate: row-for-row identity on this instance.
+        {
+            let (combos, tensor) = cache.snapshot();
+            let (fc, ft) = build_tensor_with_pairs(&oracle, &specs, true, &opts());
+            assert_eq!(combos.combos(), fc.combos(), "snapshot diverges at {n}");
+            for k in 0..tensor.num_rows() {
+                assert_eq!(tensor.row(k), ft.row(k), "row {k} diverges at {n}");
+            }
+        }
+
+        // Speedup gate at 1024+ jobs (outside the timed groups).
+        if n >= 1024 {
+            let cached = median_secs(3, || {
+                criterion::black_box(cache.snapshot());
+            });
+            let rebuilt = median_secs(3, || {
+                criterion::black_box(build_tensor_with_pairs(&oracle, &specs, true, &opts()));
+            });
+            assert!(
+                rebuilt >= cached * 3.0,
+                "incremental snapshot must beat full rebuild by >=3x at {n} jobs: \
+                 cached {cached:.4}s vs rebuilt {rebuilt:.4}s ({:.1}x)",
+                rebuilt / cached
+            );
+            println!(
+                "recompute/{n}: cached {cached:.4}s vs rebuilt {rebuilt:.4}s \
+                 ({:.1}x)",
+                rebuilt / cached
+            );
+        }
+
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| cache.snapshot())
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter(|| build_tensor_with_pairs(&oracle, &specs, true, &opts()))
+        });
+
+        assert_eq!(
+            cache.stats().full_rebuilds,
+            0,
+            "cached recompute path fell back to a full rebuild at {n} jobs"
+        );
+        assert!(cache.stats().incremental_snapshots > 0);
+    }
+    group.finish();
+}
+
+/// Admit/complete churn: each iteration completes one job, admits a fresh
+/// one, and recomputes the snapshot — the reset-event pattern of the
+/// simulator's default `OnReset` cadence.
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    for &n in &[512usize, 1024, 2048] {
+        let (mut cache, mut specs, oracle) = populated(n, opts());
+        let mut next_id = n as u64;
+        let mut victim = 0usize;
+
+        // Churn gate at 1024+ jobs: even with a completion + arrival
+        // between recomputes (the dirty path — no memoized selection),
+        // the cache must beat the full rebuild by >= 3x.
+        if n >= 1024 {
+            let cached = median_secs(3, || {
+                victim = (victim + 17) % cache.len();
+                cache.remove(victim);
+                let s = spec(next_id);
+                next_id += 1;
+                cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+                criterion::black_box(cache.snapshot());
+            });
+            let rebuilt = median_secs(3, || {
+                criterion::black_box(build_tensor_with_pairs(&oracle, &specs, true, &opts()));
+            });
+            assert!(
+                rebuilt >= cached * 3.0,
+                "churn path must beat full rebuild by >=3x at {n} jobs: \
+                 cached {cached:.4}s vs rebuilt {rebuilt:.4}s ({:.1}x)",
+                rebuilt / cached
+            );
+            println!(
+                "churn/{n}: cached {cached:.4}s vs rebuilt {rebuilt:.4}s ({:.1}x)",
+                rebuilt / cached
+            );
+        }
+
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| {
+                victim = (victim + 17) % cache.len();
+                cache.remove(victim);
+                let s = spec(next_id);
+                next_id += 1;
+                cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+                cache.snapshot()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                victim = (victim + 17) % specs.len();
+                specs.swap_remove(victim);
+                let s = spec(next_id);
+                next_id += 1;
+                specs.push(s);
+                build_tensor_with_pairs(&oracle, &specs, true, &opts())
+            })
+        });
+        assert_eq!(cache.stats().full_rebuilds, 0, "churn fell back at {n}");
+    }
+    group.finish();
+}
+
+/// Round planning with the generation-keyed candidate buffer vs full
+/// candidate extraction, replanning one unchanged allocation.
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    for &n in &[512usize, 2048] {
+        let cluster = cluster_scaled((n / 2).max(2));
+        let jobs: Vec<JobId> = (0..n as u64).map(JobId).collect();
+        let combos = ComboSet::singletons(&jobs);
+        let mut rng = StdRng::seed_from_u64(11);
+        let values: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..0.5)).collect();
+                let total: f64 = row.iter().sum();
+                if total > 1.0 {
+                    for v in &mut row {
+                        *v /= total;
+                    }
+                }
+                row
+            })
+            .collect();
+        let alloc = Allocation::new(combos, values);
+        let sf: HashMap<JobId, u32> = jobs.iter().map(|&j| (j, 1)).collect();
+        let mut sched = RoundScheduler::new(cluster);
+        // Warm the received-time state so priorities are non-trivial, and
+        // prime the candidate buffer.
+        for _ in 0..5 {
+            let plan = sched.plan_round_cached(&alloc, 1, &sf, None);
+            sched.record(&plan, 360.0);
+        }
+        // Correctness gate: cached and fresh plans are identical.
+        {
+            let pc = sched.plan_round_cached(&alloc, 1, &sf, None);
+            let pf = sched.plan_round_with_capacity(&alloc, &sf, None);
+            assert_eq!(pc.assignments.len(), pf.assignments.len());
+            for (a, b) in pc.assignments.iter().zip(&pf.assignments) {
+                assert_eq!((a.row, a.accel, &a.workers), (b.row, b.accel, &b.workers));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| sched.plan_round_cached(&alloc, 1, &sf, None))
+        });
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
+            b.iter(|| sched.plan_round_with_capacity(&alloc, &sf, None))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    // Default JSON sink for the perf trajectory; GAVEL_BENCH_JSON wins.
+    // Cargo runs benches with the package directory as cwd, so anchor the
+    // default at the workspace root where the committed trajectory lives.
+    let json = std::env::var("GAVEL_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").into());
+    let mut criterion = Criterion::default().with_json(json);
+    bench_recompute(&mut criterion);
+    bench_churn(&mut criterion);
+    bench_plan(&mut criterion);
+}

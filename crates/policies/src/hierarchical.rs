@@ -25,7 +25,10 @@
 //! round's basis, so step 1 re-solves by dual reoptimization rather than
 //! from scratch. The probe prepass also benefits from the bounded-variable
 //! lowering — its per-job slack variables live in `[0, 1]` as column
-//! bounds, not extra rows.
+//! bounds, not extra rows. The Appendix A.1 bottleneck MILP uses the
+//! branch-stable `u = Y (1 - z)` auxiliary formulation so both branch
+//! directions keep the lowering's shape and branch-and-bound nodes
+//! warm-start from the parent basis.
 
 use crate::common::{check_input, equal_share_throughput, solve_with_cache, solver_err, AllocLp};
 use gavel_core::{Allocation, JobId, Policy, PolicyError, PolicyInput};
@@ -280,6 +283,14 @@ impl<'i, 'a> WaterFill<'i, 'a> {
 
     /// Appendix A.1 MILP: maximize the number of jobs whose normalized
     /// throughput strictly improves over the floor.
+    ///
+    /// Formulated branch-stably: instead of plain big-Y rows on `z`
+    /// (whose up-branch flips a row sign and cold-starts the node), the
+    /// big constant rides on an auxiliary `u_m = Y (1 - z_m)` in `[0, Y]`
+    /// linked by an equality row. Every row's right-hand side keeps its
+    /// sign under both branch directions, each child node's lowering keeps
+    /// the parent's shape, and the parent basis stays dual feasible at
+    /// every node — so branch-and-bound warm starts actually fire.
     fn bottlenecked_milp(&self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
         let input = self.input;
         let mut alp = AllocLp::new(input, Sense::Maximize);
@@ -291,6 +302,7 @@ impl<'i, 'a> WaterFill<'i, 'a> {
             // A valid big constant: normalized throughput is bounded by
             // running the whole cluster's workers at the fastest rate.
             let y = big_y(self.input, m, self.factors[m]);
+            let u = alp.lp.add_var(&format!("u_{m}"), 0.0, y, 0.0);
             let terms: Vec<(VarId, f64)> = alp
                 .throughput_terms(input, job.id)
                 .into_iter()
@@ -298,15 +310,19 @@ impl<'i, 'a> WaterFill<'i, 'a> {
                 .collect();
             // tput >= floor (always).
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m]);
-            // tput <= floor + Y z  (z = 0 forces no improvement).
+            // tput + u <= floor + Y  <=>  tput <= floor + Y z
+            // (z = 0 forces no improvement).
             let mut upper = terms.clone();
-            upper.push((z, -y));
-            alp.lp.add_constraint(&upper, Cmp::Le, self.floors[m]);
-            // tput >= floor + delta - Y (1 - z)  (z = 1 forces improvement).
+            upper.push((u, 1.0));
+            alp.lp.add_constraint(&upper, Cmp::Le, self.floors[m] + y);
+            // tput + u >= floor + delta  <=>  tput >= floor + delta - Y (1 - z)
+            // (z = 1 forces an improvement of at least delta).
             let mut lower = terms;
-            lower.push((z, -y));
+            lower.push((u, 1.0));
             alp.lp
-                .add_constraint(&lower, Cmp::Ge, self.floors[m] + delta - y);
+                .add_constraint(&lower, Cmp::Ge, self.floors[m] + delta);
+            // u = Y (1 - z).
+            alp.lp.add_constraint(&[(u, 1.0), (z, y)], Cmp::Eq, y);
             z_vars.push(z);
         }
         for (m, job) in input.jobs.iter().enumerate() {
@@ -327,7 +343,11 @@ impl<'i, 'a> WaterFill<'i, 'a> {
             Some(alp.lp.num_constraints()),
             "bottleneck MILP grew hidden bound rows"
         );
-        let sol = solve_milp(&alp.lp, &z_vars, &MilpOptions::default()).map_err(solver_err)?;
+        let opts = MilpOptions {
+            warm_start: self.warm,
+            ..MilpOptions::default()
+        };
+        let sol = solve_milp(&alp.lp, &z_vars, &opts).map_err(solver_err)?;
         Ok(active
             .iter()
             .zip(&z_vars)

@@ -495,6 +495,46 @@ fn hierarchical_milp_matches_probe() {
 }
 
 #[test]
+fn hierarchical_milp_warm_matches_cold() {
+    // The branch-stable `u = Y(1-z)` bottleneck MILP must make identical
+    // bottleneck decisions — and hence produce the identical water-filled
+    // allocation — whether branch-and-bound nodes warm-start from the
+    // parent basis or cold-start. A larger contested instance so the
+    // search tree is nontrivial.
+    let cluster = gavel_core::ClusterSpec::new(&[("v100", 2, 2, 2.48), ("k80", 2, 2, 0.45)]);
+    let mut setup = Setup::from_matrix(
+        &[
+            vec![4.0, 1.0],
+            vec![3.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.5, 0.8],
+            vec![1.5, 1.2],
+        ],
+        cluster,
+    );
+    setup.jobs[0].entity = Some(0);
+    setup.jobs[1].entity = Some(0);
+    setup.jobs[2].entity = Some(1);
+    setup.jobs[3].entity = Some(1);
+    setup.jobs[4].entity = Some(0);
+    let warm = Hierarchical::new(vec![1.0, 1.0], EntityPolicy::Fairness)
+        .with_bottleneck(BottleneckMethod::Milp)
+        .with_warm_start(true)
+        .compute_allocation(&setup.input())
+        .unwrap();
+    let cold = Hierarchical::new(vec![1.0, 1.0], EntityPolicy::Fairness)
+        .with_bottleneck(BottleneckMethod::Milp)
+        .with_warm_start(false)
+        .compute_allocation(&setup.input())
+        .unwrap();
+    for job in &setup.jobs {
+        let tw = warm.effective_throughput(&setup.tensor, job.id);
+        let tc = cold.effective_throughput(&setup.tensor, job.id);
+        assert!((tw - tc).abs() < 1e-6, "{}: warm {tw} vs cold {tc}", job.id);
+    }
+}
+
+#[test]
 fn allox_minimizes_average_jct() {
     // Processing times: job 0 fast=100s / slow=400s; job 1 fast=220s /
     // slow=300s. Sums of completion times:

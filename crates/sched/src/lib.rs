@@ -20,5 +20,5 @@
 pub mod mechanism;
 pub mod placement;
 
-pub use mechanism::{Assignment, RoundPlan, RoundScheduler};
+pub use mechanism::{Assignment, RoundPlan, RoundScheduler, ScaleFactors};
 pub use placement::{PlacementState, WorkerSlot};

@@ -2,7 +2,26 @@
 
 use crate::placement::{PlacementState, WorkerSlot};
 use gavel_core::{AccelIdx, Allocation, ClusterSpec, Combo, JobId};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+
+/// Per-job worker counts as seen by the round planner.
+///
+/// The simulator's event engine looks scale factors up in its live job
+/// table instead of materializing a fresh `HashMap` every round; plain
+/// maps keep working for tests and standalone callers. Unknown jobs
+/// (members of stale combos whose allocation has not been recomputed yet)
+/// default to 1, matching the historical `unwrap_or(&1)` behavior.
+pub trait ScaleFactors {
+    /// Worker count of `job` (1 when unknown).
+    fn scale_factor_of(&self, job: JobId) -> u32;
+}
+
+impl ScaleFactors for HashMap<JobId, u32> {
+    fn scale_factor_of(&self, job: JobId) -> u32 {
+        *self.get(&job).unwrap_or(&1)
+    }
+}
 
 /// A combo scheduled onto concrete workers for one round.
 #[derive(Debug, Clone)]
@@ -53,6 +72,25 @@ pub struct RoundScheduler {
     cluster: ClusterSpec,
     /// Cumulative seconds each combo has received per type.
     time_received: HashMap<Combo, Vec<f64>>,
+    /// Reverse index: every combo with accounting that contains a job.
+    /// Keeps [`RoundScheduler::forget_job`] and
+    /// [`RoundScheduler::job_time_received`] proportional to the job's own
+    /// combo count instead of a scan over every combo ever recorded.
+    job_combos: HashMap<JobId, Vec<Combo>>,
+    /// Reusable candidate buffer for [`RoundScheduler::plan_round_cached`]:
+    /// the (row, type, target) triples of the allocation it was extracted
+    /// from, tagged with that allocation's generation.
+    candidates: Vec<Candidate>,
+    candidates_gen: Option<u64>,
+}
+
+/// A (combo row, accelerator type) pair with a positive target allocation.
+#[derive(Debug, Clone)]
+struct Candidate {
+    row: usize,
+    accel: usize,
+    target: f64,
+    priority: f64,
 }
 
 impl RoundScheduler {
@@ -61,6 +99,9 @@ impl RoundScheduler {
         RoundScheduler {
             cluster,
             time_received: HashMap::new(),
+            job_combos: HashMap::new(),
+            candidates: Vec::new(),
+            candidates_gen: None,
         }
     }
 
@@ -71,16 +112,34 @@ impl RoundScheduler {
 
     /// Total time received by `job` across all combos and types.
     pub fn job_time_received(&self, job: JobId) -> f64 {
-        self.time_received
-            .iter()
-            .filter(|(c, _)| c.contains(job))
-            .map(|(_, v)| v.iter().sum::<f64>())
-            .sum()
+        self.job_combos.get(&job).map_or(0.0, |combos| {
+            combos
+                .iter()
+                .filter_map(|c| self.time_received.get(c))
+                .map(|v| v.iter().sum::<f64>())
+                .sum()
+        })
     }
 
     /// Drops a completed job's accounting (its combos can never run again).
+    ///
+    /// Under throttled recomputation a *stale* combo of a forgotten job
+    /// can still appear in the next round's plan (the allocation has not
+    /// been recomputed yet); [`RoundScheduler::record`] then re-registers
+    /// it, exactly as the pre-index scheduler did — the resurrected entry
+    /// keeps planning priorities (and simulator replays) bit-identical.
+    /// It lingers until the job's other member completes or
+    /// [`RoundScheduler::reset`]; callers wanting strict semantics should
+    /// avoid recording plans built from stale allocations.
     pub fn forget_job(&mut self, job: JobId) {
-        self.time_received.retain(|c, _| !c.contains(job));
+        for combo in self.job_combos.remove(&job).unwrap_or_default() {
+            self.time_received.remove(&combo);
+            for other in combo.jobs().filter(|&j| j != job) {
+                if let Some(list) = self.job_combos.get_mut(&other) {
+                    list.retain(|c| *c != combo);
+                }
+            }
+        }
     }
 
     /// Clears all accounting (used at allocation-recomputation resets when
@@ -88,6 +147,7 @@ impl RoundScheduler {
     /// history by default, which converges identically).
     pub fn reset(&mut self) {
         self.time_received.clear();
+        self.job_combos.clear();
     }
 
     /// Plans one round for the target allocation.
@@ -95,7 +155,7 @@ impl RoundScheduler {
     /// `scale_factor` maps jobs to their worker counts. Returns the
     /// assignments; call [`RoundScheduler::record`] once the round has
     /// actually run.
-    pub fn plan_round(&self, alloc: &Allocation, scale_factor: &HashMap<JobId, u32>) -> RoundPlan {
+    pub fn plan_round(&self, alloc: &Allocation, scale_factor: &impl ScaleFactors) -> RoundPlan {
         self.plan_round_with_capacity(alloc, scale_factor, None)
     }
 
@@ -104,46 +164,58 @@ impl RoundScheduler {
     pub fn plan_round_with_capacity(
         &self,
         alloc: &Allocation,
-        scale_factor: &HashMap<JobId, u32>,
+        scale_factor: &impl ScaleFactors,
         available: Option<&[usize]>,
     ) -> RoundPlan {
-        let num_types = self.cluster.num_types();
-        let combos = alloc.combos().combos();
-
-        // Candidate (row, type) pairs with positive target allocation.
-        // Priorities follow Figure 4: the target allocation divided by the
-        // raw time already received on that type (element-wise `X / f`),
-        // with infinite priority for combos that have a positive target but
-        // have received nothing there yet.
-        struct Candidate {
-            row: usize,
-            accel: usize,
-            priority: f64,
-            target: f64,
-        }
         let mut candidates = Vec::new();
-        for (k, combo) in combos.iter().enumerate() {
-            for j in 0..num_types {
-                let target = alloc.get(k, AccelIdx(j));
-                if target <= 1e-4 {
-                    continue;
-                }
-                let received = self.time_received(combo, AccelIdx(j));
-                let priority = if received > 0.0 {
-                    target / received
-                } else {
-                    f64::INFINITY
-                };
-                candidates.push(Candidate {
-                    row: k,
-                    accel: j,
-                    priority,
-                    target,
-                });
-            }
+        collect_candidates(alloc, &mut candidates);
+        self.score_candidates(alloc, &mut candidates);
+        self.plan_from_candidates(alloc, &candidates, scale_factor, available)
+    }
+
+    /// Like [`RoundScheduler::plan_round_with_capacity`], but reuses the
+    /// candidate buffer extracted from the allocation tagged `alloc_gen`.
+    ///
+    /// The simulation engine recomputes allocations only at reset events or
+    /// cadence hits, so most rounds replan the *same* allocation; those
+    /// rounds skip the full matrix scan and only re-score priorities
+    /// (`X / f` changes every round as time is recorded) before the greedy
+    /// pass. Callers must bump `alloc_gen` whenever `alloc` changes; plans
+    /// are identical to the uncached path for any generation discipline.
+    pub fn plan_round_cached(
+        &mut self,
+        alloc: &Allocation,
+        alloc_gen: u64,
+        scale_factor: &impl ScaleFactors,
+        available: Option<&[usize]>,
+    ) -> RoundPlan {
+        if self.candidates_gen != Some(alloc_gen) {
+            collect_candidates(alloc, &mut self.candidates);
+            self.candidates_gen = Some(alloc_gen);
         }
-        // Highest priority first; infinite priorities ranked by target,
-        // then deterministic row/type order.
+        let mut candidates = std::mem::take(&mut self.candidates);
+        self.score_candidates(alloc, &mut candidates);
+        let plan = self.plan_from_candidates(alloc, &candidates, scale_factor, available);
+        self.candidates = candidates;
+        plan
+    }
+
+    /// Priorities follow Figure 4: the target allocation divided by the
+    /// raw time already received on that type (element-wise `X / f`), with
+    /// infinite priority for combos that have a positive target but have
+    /// received nothing there yet. Sorts highest priority first; infinite
+    /// priorities ranked by target, then deterministic row/type order (a
+    /// total order, so the reused buffer sorts identically to a fresh one).
+    fn score_candidates(&self, alloc: &Allocation, candidates: &mut [Candidate]) {
+        let combos = alloc.combos().combos();
+        for c in candidates.iter_mut() {
+            let received = self.time_received(&combos[c.row], AccelIdx(c.accel));
+            c.priority = if received > 0.0 {
+                c.target / received
+            } else {
+                f64::INFINITY
+            };
+        }
         candidates.sort_by(|a, b| {
             b.priority
                 .partial_cmp(&a.priority)
@@ -152,8 +224,18 @@ impl RoundScheduler {
                 .then(a.row.cmp(&b.row))
                 .then(a.accel.cmp(&b.accel))
         });
+    }
 
-        // Algorithm 1: greedy admission with conflict removal.
+    /// Algorithm 1: greedy admission with conflict removal over the sorted
+    /// candidate list.
+    fn plan_from_candidates(
+        &self,
+        alloc: &Allocation,
+        candidates: &[Candidate],
+        scale_factor: &impl ScaleFactors,
+        available: Option<&[usize]>,
+    ) -> RoundPlan {
+        let combos = alloc.combos().combos();
         let mut placement = match available {
             Some(av) => PlacementState::with_available(&self.cluster, av),
             None => PlacementState::new(&self.cluster),
@@ -167,7 +249,7 @@ impl RoundScheduler {
             }
             let sf = combo
                 .jobs()
-                .map(|job| *scale_factor.get(&job).unwrap_or(&1))
+                .map(|job| scale_factor.scale_factor_of(job))
                 .max()
                 .unwrap_or(1) as usize;
             let Some((workers, consolidated)) = placement.allocate(AccelIdx(c.accel), sf) else {
@@ -191,11 +273,39 @@ impl RoundScheduler {
     pub fn record(&mut self, plan: &RoundPlan, duration: f64) {
         let num_types = self.cluster.num_types();
         for a in &plan.assignments {
-            let entry = self
-                .time_received
-                .entry(a.combo)
-                .or_insert_with(|| vec![0.0; num_types]);
-            entry[a.accel.0] += duration;
+            match self.time_received.entry(a.combo) {
+                Entry::Occupied(mut o) => o.get_mut()[a.accel.0] += duration,
+                Entry::Vacant(v) => {
+                    let mut row = vec![0.0; num_types];
+                    row[a.accel.0] += duration;
+                    v.insert(row);
+                    for job in a.combo.jobs() {
+                        self.job_combos.entry(job).or_default().push(a.combo);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the (row, type) pairs with positive target allocation into
+/// `out` (cleared first). Priorities are filled in by
+/// [`RoundScheduler::score_candidates`] just before planning.
+fn collect_candidates(alloc: &Allocation, out: &mut Vec<Candidate>) {
+    out.clear();
+    let num_types = alloc.values().first().map_or(0, |r| r.len());
+    for k in 0..alloc.combos().len() {
+        for j in 0..num_types {
+            let target = alloc.get(k, AccelIdx(j));
+            if target <= 1e-4 {
+                continue;
+            }
+            out.push(Candidate {
+                row: k,
+                accel: j,
+                target,
+                priority: 0.0,
+            });
         }
     }
 }
@@ -343,6 +453,77 @@ mod tests {
             assert_eq!(a.combo, b.combo);
             assert_eq!(a.accel, b.accel);
         }
+    }
+
+    #[test]
+    fn cached_plans_match_uncached() {
+        // The generation-keyed candidate buffer must be invisible: cached
+        // plans equal fresh plans round for round, including across a
+        // generation bump (new allocation) and a forgotten job.
+        let alloc = example_allocation();
+        let mut cached = RoundScheduler::new(cluster());
+        let mut fresh = RoundScheduler::new(cluster());
+        let sf = sf1(&[JobId(0), JobId(1), JobId(2)]);
+        for round in 0..30 {
+            let gen = u64::from(round >= 15); // swap allocations mid-run
+            let alloc2 = if round >= 15 {
+                Allocation::new(
+                    alloc.combos().clone(),
+                    vec![
+                        vec![0.1, 0.8, 0.1],
+                        vec![0.5, 0.1, 0.4],
+                        vec![0.4, 0.1, 0.5],
+                    ],
+                )
+            } else {
+                alloc.clone()
+            };
+            let pc = cached.plan_round_cached(&alloc2, gen, &sf, None);
+            let pf = fresh.plan_round_with_capacity(&alloc2, &sf, None);
+            assert_eq!(pc.assignments.len(), pf.assignments.len(), "round {round}");
+            for (a, b) in pc.assignments.iter().zip(&pf.assignments) {
+                assert_eq!(a.combo, b.combo);
+                assert_eq!(a.accel, b.accel);
+                assert_eq!(a.row, b.row);
+                assert_eq!(a.workers, b.workers);
+            }
+            cached.record(&pc, 360.0);
+            fresh.record(&pf, 360.0);
+            if round == 20 {
+                cached.forget_job(JobId(1));
+                fresh.forget_job(JobId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn forget_job_keeps_pair_peers_consistent() {
+        // Forgetting one member of a pair drops the pair's accounting but
+        // keeps the peer's other combos intact in the reverse index.
+        let combos = ComboSet::new(vec![
+            Combo::single(JobId(0)),
+            Combo::single(JobId(1)),
+            Combo::pair(JobId(0), JobId(1)),
+        ]);
+        let c = ClusterSpec::new(&[("v100", 3, 3, 0.0)]);
+        let alloc = Allocation::new(combos, vec![vec![0.9], vec![0.9], vec![0.9]]);
+        let mut sched = RoundScheduler::new(c);
+        let sf = sf1(&[JobId(0), JobId(1)]);
+        for _ in 0..4 {
+            let plan = sched.plan_round(&alloc, &sf);
+            sched.record(&plan, 360.0);
+        }
+        let before = sched.job_time_received(JobId(1));
+        assert!(before > 0.0);
+        sched.forget_job(JobId(0));
+        assert_eq!(sched.job_time_received(JobId(0)), 0.0);
+        // Job 1 keeps only its singleton time.
+        let singleton = sched.time_received(&Combo::single(JobId(1)), AccelIdx(0));
+        assert_eq!(sched.job_time_received(JobId(1)), singleton);
+        assert_eq!(
+            sched.time_received(&Combo::pair(JobId(0), JobId(1)), AccelIdx(0)),
+            0.0
+        );
     }
 
     #[test]

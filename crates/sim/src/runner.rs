@@ -1,38 +1,21 @@
-//! The simulation loop.
+//! The public simulator facade.
+//!
+//! [`Simulator`] owns the configuration and the execution oracle; each
+//! [`Simulator::run`] spins up one [`crate::engine::Engine`] — the
+//! event-driven core shared by round and fluid (ideal) stepping — and
+//! returns its [`SimResult`].
 
-use crate::config::{RecomputeCadence, SimConfig};
-use crate::estimate::EstimatorBridge;
-use crate::metrics::{JobOutcome, SimResult};
-use gavel_core::{
-    refs, AccelIdx, Allocation, ComboSet, JobId, Policy, PolicyInput, PolicyJob, ThroughputTensor,
-};
-use gavel_estimator::EstimatorConfig;
-use gavel_policies::IsolatedSplit;
-use gavel_sched::{RoundPlan, RoundScheduler};
-use gavel_workloads::{
-    build_singleton_tensor, build_tensor_with_pairs, build_tensor_with_pairs_by, GpuKind, JobSpec,
-    Oracle, TraceJob,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::metrics::SimResult;
+use gavel_core::Policy;
+use gavel_workloads::{Oracle, TraceJob};
 
 /// Simulates a policy over a trace (see the crate docs for the knobs).
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: SimConfig,
     oracle: Oracle,
-}
-
-struct ActiveJob {
-    trace: TraceJob,
-    steps_done: f64,
-    contention_at_arrival: usize,
-    isolated_duration: f64,
-    cost: f64,
-    /// Previous round's placement signature, for preemption overhead.
-    prev_placement: Option<(usize, Vec<(usize, usize)>)>,
 }
 
 impl Simulator {
@@ -49,633 +32,13 @@ impl Simulator {
         &self.oracle
     }
 
-    /// Whether a job of this scale factor fits on at least one accelerator
-    /// type of the configured cluster.
-    fn placeable(&self, scale_factor: u32) -> bool {
-        self.config
-            .cluster
-            .types()
-            .any(|j| self.config.cluster.num_workers(j) as u32 >= scale_factor)
-    }
-
     /// Runs `policy` over `trace`, returning per-job outcomes and
     /// aggregates.
+    ///
+    /// Round stepping realizes the §5 mechanism; with
+    /// [`SimConfig::ideal_execution`] the same engine steps fluidly
+    /// (Figure 13b) instead.
     pub fn run(&self, policy: &dyn Policy, trace: &[TraceJob]) -> SimResult {
-        if self.config.ideal_execution {
-            self.run_ideal(policy, trace)
-        } else {
-            self.run_rounds(policy, trace)
-        }
-    }
-
-    fn run_rounds(&self, policy: &dyn Policy, trace: &[TraceJob]) -> SimResult {
-        let cfg = &self.config;
-        let round = cfg.round_seconds;
-        let mut pending: VecDeque<TraceJob> = sorted_by_arrival(trace);
-        let mut active: Vec<ActiveJob> = Vec::new();
-        let mut outcomes: Vec<JobOutcome> = Vec::new();
-        let mut sched = RoundScheduler::new(cfg.cluster.clone());
-        let mut bridge = self.make_bridge(policy);
-        let mut jitter_rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9));
-
-        let mut now = 0.0f64;
-        let mut rounds = 0usize;
-        let mut recomputations = 0usize;
-        let mut policy_failures = 0usize;
-        let mut never_placeable = 0usize;
-        let mut policy_seconds = 0.0f64;
-        let mut busy_worker_seconds = 0.0f64;
-        let mut total_cost = 0.0f64;
-        let mut need_recompute = true;
-        let mut current: Option<(ComboSet, ThroughputTensor, Allocation)> = None;
-
-        let mut last_recompute_round = 0u32;
-
-        // Worker-failure injection state: outstanding (type, up_at) repairs
-        // plus the next failure time.
-        let mut failure_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xfa11));
-        let mut down: Vec<(usize, f64)> = Vec::new();
-        let mut next_failure = cfg.failures.map(|f| {
-            let u: f64 = failure_rng.gen_range(f64::EPSILON..1.0);
-            -u.ln() * f.mtbf_seconds
-        });
-
-        while now < cfg.max_seconds && (!pending.is_empty() || !active.is_empty()) {
-            // Admit arrivals up to the current round boundary; jobs no
-            // accelerator type can ever host are rejected and counted
-            // rather than admitted as permanently-stuck entries.
-            while pending
-                .front()
-                .is_some_and(|j| j.arrival_time <= now + 1e-9)
-            {
-                let t = pending.pop_front().expect("checked non-empty");
-                if !self.placeable(t.scale_factor) {
-                    never_placeable += 1;
-                    outcomes.push(unstarted_outcome(&t));
-                    continue;
-                }
-                self.admit(&mut active, t, now);
-                need_recompute = true;
-            }
-            if active.is_empty() {
-                // Fast-forward to the round boundary at/after the next
-                // arrival.
-                let Some(next) = pending.front() else { break };
-                let k = (next.arrival_time / round).ceil().max(0.0);
-                now = (k * round).max(now + round);
-                continue;
-            }
-
-            // Worker failures and repairs are reset events (§3).
-            if let (Some(fc), Some(nf)) = (cfg.failures, next_failure) {
-                while next_failure.is_some_and(|t| t <= now) {
-                    // Fail a random worker, weighted by type populations.
-                    let total = cfg.cluster.total_workers();
-                    let mut pick = failure_rng.gen_range(0..total);
-                    let mut failed_type = 0;
-                    for j in cfg.cluster.types() {
-                        let w = cfg.cluster.num_workers(j);
-                        if pick < w {
-                            failed_type = j.0;
-                            break;
-                        }
-                        pick -= w;
-                    }
-                    down.push((failed_type, now + fc.downtime_seconds));
-                    let u: f64 = failure_rng.gen_range(f64::EPSILON..1.0);
-                    next_failure = Some(next_failure.unwrap() - u.ln() * fc.mtbf_seconds);
-                    need_recompute = true;
-                }
-                let before = down.len();
-                down.retain(|&(_, up_at)| up_at > now);
-                if down.len() != before {
-                    need_recompute = true; // Repairs are reset events too.
-                }
-                let _ = nf;
-            }
-            let available: Option<Vec<usize>> = if down.is_empty() {
-                None
-            } else {
-                let mut av: Vec<usize> = cfg
-                    .cluster
-                    .types()
-                    .map(|j| cfg.cluster.num_workers(j))
-                    .collect();
-                for &(j, _) in &down {
-                    av[j] = av[j].saturating_sub(1);
-                }
-                Some(av)
-            };
-
-            let cadence_hit = match cfg.recompute {
-                RecomputeCadence::EveryNRounds(n) => (rounds as u32).is_multiple_of(n.max(1)),
-                _ => false,
-            };
-            // ThrottledResets: suppress reset-triggered recomputes until
-            // the throttle window has passed (the pending reset fires then).
-            let throttle_ok = match cfg.recompute {
-                RecomputeCadence::ThrottledResets(n) => {
-                    rounds as u32 >= last_recompute_round.saturating_add(n.max(1))
-                }
-                _ => true,
-            };
-            if current.is_none() || cadence_hit || (need_recompute && throttle_ok) {
-                let t0 = Instant::now();
-                let (combos, tensor, alloc, failed) =
-                    self.compute_allocation(policy, &active, now, bridge.as_ref());
-                policy_seconds += t0.elapsed().as_secs_f64();
-                recomputations += 1;
-                policy_failures += failed as usize;
-                current = Some((combos, tensor, alloc));
-                need_recompute = false;
-                last_recompute_round = rounds as u32;
-            }
-            let (_combos, _tensor, alloc) = current.as_ref().expect("allocation computed");
-
-            let sf_map: HashMap<JobId, u32> = active
-                .iter()
-                .map(|a| (a.trace.id, a.trace.scale_factor))
-                .collect();
-            let plan = sched.plan_round_with_capacity(alloc, &sf_map, available.as_deref());
-
-            // Execute the round.
-            let completed = self.execute_round(
-                &plan,
-                &mut active,
-                now,
-                &mut jitter_rng,
-                &mut busy_worker_seconds,
-                &mut total_cost,
-                bridge.as_mut(),
-            );
-            sched.record(&plan, round);
-
-            for (id, completion) in completed {
-                let idx = active
-                    .iter()
-                    .position(|a| a.trace.id == id)
-                    .expect("completed job is active");
-                let job = active.swap_remove(idx);
-                outcomes.push(make_outcome(&job, Some(completion)));
-                sched.forget_job(id);
-                if let Some(b) = bridge.as_mut() {
-                    b.forget(id);
-                }
-                need_recompute = true;
-            }
-
-            now += round;
-            rounds += 1;
-        }
-
-        // Unfinished jobs at the cap.
-        for job in active {
-            outcomes.push(make_outcome(&job, None));
-        }
-        for t in pending {
-            outcomes.push(unstarted_outcome(&t));
-        }
-        outcomes.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .unwrap()
-                .then(a.id.cmp(&b.id))
-        });
-
-        // Makespan: the last completion; if anything is unfinished at the
-        // cap, the cap time itself.
-        let unfinished = outcomes.iter().any(|o| o.completion.is_none());
-        let makespan = if unfinished {
-            now
-        } else {
-            outcomes
-                .iter()
-                .filter_map(|o| o.completion)
-                .fold(0.0f64, f64::max)
-        };
-
-        let denom = cfg.cluster.total_workers() as f64 * now.max(1e-9);
-        SimResult {
-            jobs: outcomes,
-            makespan,
-            total_cost,
-            utilization: (busy_worker_seconds / denom).min(1.0),
-            rounds,
-            recomputations,
-            policy_solve_seconds: policy_seconds,
-            policy_failures,
-            never_placeable,
-        }
-    }
-
-    /// Fluid ideal execution (Figure 13b): allocations applied exactly as
-    /// continuous rates, no rounds, no placement.
-    fn run_ideal(&self, policy: &dyn Policy, trace: &[TraceJob]) -> SimResult {
-        let cfg = &self.config;
-        let mut pending: VecDeque<TraceJob> = sorted_by_arrival(trace);
-        let mut active: Vec<ActiveJob> = Vec::new();
-        let mut outcomes: Vec<JobOutcome> = Vec::new();
-        let mut now = 0.0f64;
-        let mut recomputations = 0usize;
-        let mut policy_failures = 0usize;
-        let mut never_placeable = 0usize;
-        let mut policy_seconds = 0.0f64;
-        let mut busy_worker_seconds = 0.0f64;
-        let mut total_cost = 0.0f64;
-
-        while now < cfg.max_seconds && (!pending.is_empty() || !active.is_empty()) {
-            while pending
-                .front()
-                .is_some_and(|j| j.arrival_time <= now + 1e-9)
-            {
-                let t = pending.pop_front().expect("checked non-empty");
-                if !self.placeable(t.scale_factor) {
-                    never_placeable += 1;
-                    outcomes.push(unstarted_outcome(&t));
-                    continue;
-                }
-                self.admit(&mut active, t, now);
-            }
-            if active.is_empty() {
-                let Some(next) = pending.front() else { break };
-                now = next.arrival_time;
-                continue;
-            }
-
-            let t0 = Instant::now();
-            let (_combos, tensor, alloc, failed) =
-                self.compute_allocation(policy, &active, now, None);
-            policy_seconds += t0.elapsed().as_secs_f64();
-            recomputations += 1;
-            policy_failures += failed as usize;
-
-            // Per-job fluid rates.
-            let rates: Vec<f64> = active
-                .iter()
-                .map(|a| alloc.effective_throughput(&tensor, a.trace.id))
-                .collect();
-
-            // Next event: completion or arrival.
-            let mut dt = cfg.max_seconds - now;
-            if let Some(next) = pending.front() {
-                dt = dt.min(next.arrival_time - now);
-            }
-            for (a, &r) in active.iter().zip(&rates) {
-                if r > 1e-12 {
-                    let remaining = (a.trace.total_steps - a.steps_done).max(0.0);
-                    dt = dt.min(remaining / r);
-                }
-            }
-            dt = dt.max(1e-6);
-
-            // Advance, accounting cost/usage through the allocation.
-            let mut used_worker_seconds = 0.0;
-            let mut step_cost = 0.0;
-            for (k, combo) in alloc.combos().combos().iter().enumerate() {
-                let sf = combo
-                    .jobs()
-                    .filter_map(|id| active.iter().find(|a| a.trace.id == id))
-                    .map(|a| a.trace.scale_factor)
-                    .max()
-                    .unwrap_or(1) as f64;
-                for j in cfg.cluster.types() {
-                    let x = alloc.get(k, j);
-                    if x > 0.0 {
-                        used_worker_seconds += x * sf * dt;
-                        step_cost += x * sf * dt / 3600.0 * cfg.cluster.price_per_hour(j);
-                    }
-                }
-            }
-            busy_worker_seconds += used_worker_seconds;
-            total_cost += step_cost;
-            let n_active = active.len() as f64;
-            for (a, &r) in active.iter_mut().zip(&rates) {
-                a.steps_done += r * dt;
-                a.cost += step_cost / n_active;
-            }
-            now += dt;
-
-            // Completions.
-            let mut i = 0;
-            while i < active.len() {
-                if active[i].steps_done >= active[i].trace.total_steps - 1e-6 {
-                    let job = active.swap_remove(i);
-                    outcomes.push(make_outcome(&job, Some(now)));
-                } else {
-                    i += 1;
-                }
-            }
-        }
-
-        for job in active {
-            outcomes.push(make_outcome(&job, None));
-        }
-        outcomes.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .unwrap()
-                .then(a.id.cmp(&b.id))
-        });
-        let makespan = outcomes
-            .iter()
-            .filter_map(|o| o.completion)
-            .fold(0.0f64, f64::max);
-        let denom = cfg.cluster.total_workers() as f64 * now.max(1e-9);
-        SimResult {
-            jobs: outcomes,
-            makespan,
-            total_cost,
-            utilization: (busy_worker_seconds / denom).min(1.0),
-            rounds: 0,
-            recomputations,
-            policy_solve_seconds: policy_seconds,
-            policy_failures,
-            never_placeable,
-        }
-    }
-
-    fn make_bridge(&self, policy: &dyn Policy) -> Option<EstimatorBridge> {
-        if self.config.estimate_pair_throughputs
-            && self.config.pairs.is_some()
-            && policy.wants_space_sharing()
-        {
-            Some(EstimatorBridge::new(
-                &self.oracle,
-                EstimatorConfig::default(),
-                self.config.seed,
-            ))
-        } else {
-            None
-        }
-    }
-
-    fn admit(&self, active: &mut Vec<ActiveJob>, trace: TraceJob, _now: f64) {
-        let n = active.len() + 1;
-        let x_iso = refs::x_isolated(&self.config.cluster, n, trace.scale_factor);
-        let mut iso_tput = 0.0;
-        for (j, &share) in x_iso.iter().enumerate() {
-            let gpu = GpuKind::from_index(AccelIdx(j));
-            iso_tput += share
-                * self
-                    .oracle
-                    .throughput(trace.config, gpu, trace.scale_factor, true);
-        }
-        let isolated_duration = if iso_tput > 0.0 {
-            trace.total_steps / iso_tput
-        } else {
-            trace.duration_seconds
-        };
-        active.push(ActiveJob {
-            contention_at_arrival: n,
-            isolated_duration,
-            steps_done: 0.0,
-            cost: 0.0,
-            prev_placement: None,
-            trace,
-        });
-    }
-
-    /// Builds the policy input and computes the allocation; falls back to
-    /// the isolated split on solver failure. Returns `(combos, tensor,
-    /// allocation, failed)`.
-    fn compute_allocation(
-        &self,
-        policy: &dyn Policy,
-        active: &[ActiveJob],
-        now: f64,
-        bridge: Option<&EstimatorBridge>,
-    ) -> (ComboSet, ThroughputTensor, Allocation, bool) {
-        let cfg = &self.config;
-        let specs: Vec<JobSpec> = active
-            .iter()
-            .map(|a| JobSpec {
-                id: a.trace.id,
-                config: a.trace.config,
-                scale_factor: a.trace.scale_factor,
-            })
-            .collect();
-        let want_pairs = policy.wants_space_sharing() && cfg.pairs.is_some();
-        let (combos, tensor) = if want_pairs {
-            let opts = cfg.pairs.as_ref().expect("pairs configured");
-            match bridge {
-                Some(b) => build_tensor_with_pairs_by(
-                    &self.oracle,
-                    &specs,
-                    cfg.assume_consolidated,
-                    opts,
-                    |x, y, g| {
-                        b.pair_throughput(&self.oracle, (x.id, x.config), (y.id, y.config), g)
-                    },
-                ),
-                None => {
-                    build_tensor_with_pairs(&self.oracle, &specs, cfg.assume_consolidated, opts)
-                }
-            }
-        } else {
-            build_singleton_tensor(&self.oracle, &specs, cfg.assume_consolidated)
-        };
-
-        let jobs: Vec<PolicyJob> = active
-            .iter()
-            .map(|a| PolicyJob {
-                id: a.trace.id,
-                weight: a.trace.weight,
-                scale_factor: a.trace.scale_factor,
-                steps_remaining: (a.trace.total_steps - a.steps_done).max(1.0),
-                time_elapsed: (now - a.trace.arrival_time).max(0.0),
-                slo_seconds_remaining: a.trace.slo_deadline().map(|d| (d - now).max(1.0)),
-                arrival_seq: a.trace.id.0,
-                entity: a.trace.entity,
-            })
-            .collect();
-        let input = PolicyInput {
-            jobs: &jobs,
-            combos: &combos,
-            tensor: &tensor,
-            cluster: &cfg.cluster,
-        };
-        match policy.compute_allocation(&input) {
-            Ok(alloc) => (combos, tensor, alloc, false),
-            Err(_) => {
-                let alloc = IsolatedSplit::new()
-                    .compute_allocation(&input)
-                    .unwrap_or_else(|_| Allocation::zeros(combos.clone(), cfg.cluster.num_types()));
-                (combos, tensor, alloc, true)
-            }
-        }
-    }
-
-    /// Executes one round of `plan`. Returns completions as `(job, time)`.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_round(
-        &self,
-        plan: &RoundPlan,
-        active: &mut [ActiveJob],
-        now: f64,
-        jitter_rng: &mut StdRng,
-        busy_worker_seconds: &mut f64,
-        total_cost: &mut f64,
-        mut bridge: Option<&mut EstimatorBridge>,
-    ) -> Vec<(JobId, f64)> {
-        let cfg = &self.config;
-        let round = cfg.round_seconds;
-        let mut completions = Vec::new();
-        let mut index: HashMap<JobId, usize> = active
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.trace.id, i))
-            .collect();
-
-        for assignment in &plan.assignments {
-            let gpu = GpuKind::from_index(assignment.accel);
-            let placement_sig: Vec<(usize, usize)> = assignment
-                .workers
-                .iter()
-                .map(|w| (w.server, w.slot))
-                .collect();
-
-            // Per-member true throughputs. Stale assignments (a member
-            // completed but the allocation has not been recomputed yet —
-            // possible under throttled recomputation) idle their workers
-            // for the round.
-            let members: Vec<JobId> = assignment.combo.jobs().collect();
-            if members.iter().any(|id| !index.contains_key(id)) {
-                continue;
-            }
-            let mut tputs: Vec<f64> = Vec::with_capacity(members.len());
-            if members.len() == 2 {
-                let a = &active[index[&members[0]]];
-                let b = &active[index[&members[1]]];
-                match self.oracle.colocated(a.trace.config, b.trace.config, gpu) {
-                    Some((ta, tb)) => {
-                        tputs.push(ta);
-                        tputs.push(tb);
-                    }
-                    None => {
-                        tputs.push(0.0);
-                        tputs.push(0.0);
-                    }
-                }
-                if let Some(b2) = bridge.as_deref_mut() {
-                    b2.observe(
-                        &self.oracle,
-                        (a.trace.id, a.trace.config),
-                        (b.trace.id, b.trace.config),
-                        gpu,
-                    );
-                }
-            } else {
-                let a = &active[index[&members[0]]];
-                tputs.push(self.oracle.throughput(
-                    a.trace.config,
-                    gpu,
-                    a.trace.scale_factor,
-                    assignment.consolidated,
-                ));
-            }
-
-            let mut latest_offset = 0.0f64;
-            for (&id, &tput_raw) in members.iter().zip(&tputs) {
-                let i = index[&id];
-                let job = &mut active[i];
-                let mut tput = tput_raw;
-                if cfg.physical && tput > 0.0 {
-                    let noise = 1.0 + cfg.jitter * (jitter_rng.gen::<f64>() * 2.0 - 1.0);
-                    tput *= noise.max(0.1);
-                }
-                // Preemption overhead when the placement changed.
-                let changed = job.prev_placement.as_ref()
-                    != Some(&(assignment.accel.0, placement_sig.clone()));
-                let overhead = if cfg.physical && changed {
-                    cfg.checkpoint_seconds.min(round)
-                } else {
-                    0.0
-                };
-                let effective = round - overhead;
-                let remaining = (job.trace.total_steps - job.steps_done).max(0.0);
-                if tput > 1e-12 && remaining / tput <= effective {
-                    job.steps_done = job.trace.total_steps;
-                    let offset = overhead + remaining / tput;
-                    completions.push((id, now + offset));
-                    latest_offset = latest_offset.max(offset);
-                } else {
-                    job.steps_done += tput * effective.max(0.0);
-                    latest_offset = round;
-                }
-                job.prev_placement = Some((assignment.accel.0, placement_sig.clone()));
-            }
-
-            // Cost and utilization at assignment granularity; pairs are
-            // charged once (no double counting, §4.2).
-            let busy = if latest_offset > 0.0 {
-                latest_offset
-            } else {
-                round
-            };
-            let price = cfg.cluster.price_per_hour(assignment.accel);
-            let cost = assignment.workers.len() as f64 * price * busy / 3600.0;
-            *total_cost += cost;
-            *busy_worker_seconds += assignment.workers.len() as f64 * busy;
-            let share = cost / members.len() as f64;
-            for &id in &members {
-                active[index[&id]].cost += share;
-            }
-        }
-
-        // Jobs not scheduled this round lose their placement (they will pay
-        // a restore cost when rescheduled).
-        let running = plan.running_jobs();
-        for job in active.iter_mut() {
-            if !running.contains(&job.trace.id) {
-                job.prev_placement = None;
-            }
-        }
-        let _ = &mut index;
-        completions
-    }
-}
-
-/// Outcome for a job that never started (unplaceable, or still pending at
-/// the simulation cap).
-fn unstarted_outcome(t: &TraceJob) -> JobOutcome {
-    JobOutcome {
-        id: t.id,
-        config: t.config,
-        scale_factor: t.scale_factor,
-        arrival: t.arrival_time,
-        completion: None,
-        ideal_duration: t.duration_seconds,
-        contention_at_arrival: 0,
-        isolated_duration: t.duration_seconds,
-        weight: t.weight,
-        slo_deadline: t.slo_deadline(),
-        cost: 0.0,
-    }
-}
-
-fn sorted_by_arrival(trace: &[TraceJob]) -> VecDeque<TraceJob> {
-    let mut v: Vec<TraceJob> = trace.to_vec();
-    v.sort_by(|a, b| {
-        a.arrival_time
-            .partial_cmp(&b.arrival_time)
-            .unwrap()
-            .then(a.id.cmp(&b.id))
-    });
-    v.into()
-}
-
-fn make_outcome(job: &ActiveJob, completion: Option<f64>) -> JobOutcome {
-    JobOutcome {
-        id: job.trace.id,
-        config: job.trace.config,
-        scale_factor: job.trace.scale_factor,
-        arrival: job.trace.arrival_time,
-        completion,
-        ideal_duration: job.trace.duration_seconds,
-        contention_at_arrival: job.contention_at_arrival,
-        isolated_duration: job.isolated_duration,
-        weight: job.trace.weight,
-        slo_deadline: job.trace.slo_deadline(),
-        cost: job.cost,
+        Engine::new(&self.config, &self.oracle, policy, trace).run()
     }
 }

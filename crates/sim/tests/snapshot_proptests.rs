@@ -1,0 +1,77 @@
+//! Property test: the incremental snapshot is row-for-row identical to a
+//! fresh tensor build under arbitrary admit/complete interleavings.
+
+use gavel_core::{JobId, PolicyJob};
+use gavel_sim::SnapshotCache;
+use gavel_workloads::{
+    build_singleton_tensor, build_tensor_with_pairs, JobConfig, JobSpec, Oracle, PairOptions,
+};
+use proptest::prelude::*;
+
+/// Applies one op sequence to the cache while mirroring it on a plain
+/// spec vector, checking snapshot == fresh build after every step.
+///
+/// `ops` drives the interleaving: an op admits a new job when `admit` is
+/// true (or the pool is empty), otherwise completes the resident job at
+/// `pick % len` — exercising `swap_remove` reordering, which is what the
+/// pair-candidate re-ranking has to survive.
+fn run_sequence(ops: &[(bool, usize, usize, usize)], opts: Option<PairOptions>) {
+    let oracle = Oracle::new();
+    let all = JobConfig::all();
+    let mut cache = SnapshotCache::new(true, opts);
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut next_id = 0u64;
+    for &(admit, pick, cfg_idx, sf_sel) in ops {
+        if admit || specs.is_empty() {
+            let spec = JobSpec {
+                id: JobId(next_id),
+                config: all[cfg_idx % all.len()],
+                // Mostly single-worker jobs (pairable), some distributed.
+                scale_factor: if sf_sel % 4 == 0 { 2 } else { 1 },
+            };
+            next_id += 1;
+            cache.admit(&oracle, spec, PolicyJob::simple(spec.id, 1000.0));
+            specs.push(spec);
+        } else {
+            let i = pick % specs.len();
+            cache.remove(i);
+            specs.swap_remove(i);
+        }
+        let (combos, tensor) = cache.snapshot();
+        let (fresh_combos, fresh_tensor) = match opts {
+            Some(o) => build_tensor_with_pairs(&oracle, &specs, true, &o),
+            None => build_singleton_tensor(&oracle, &specs, true),
+        };
+        assert_eq!(
+            combos.combos(),
+            fresh_combos.combos(),
+            "combo rows diverge after {} ops",
+            specs.len()
+        );
+        assert_eq!(tensor.num_rows(), fresh_tensor.num_rows());
+        for k in 0..tensor.num_rows() {
+            assert_eq!(tensor.row(k), fresh_tensor.row(k), "row {k} diverges");
+        }
+    }
+    assert_eq!(cache.stats().full_rebuilds, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_equals_fresh_with_pairs(
+        ops in prop::collection::vec((any::<bool>(), 0usize..64, 0usize..64, 0usize..16), 1..40),
+        min_aggregate in 1.0f64..1.6,
+        max_pairs in 1usize..6,
+    ) {
+        run_sequence(&ops, Some(PairOptions { min_aggregate, max_pairs_per_job: max_pairs }));
+    }
+
+    #[test]
+    fn incremental_equals_fresh_singletons(
+        ops in prop::collection::vec((any::<bool>(), 0usize..64, 0usize..64, 0usize..16), 1..40),
+    ) {
+        run_sequence(&ops, None);
+    }
+}

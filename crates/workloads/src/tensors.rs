@@ -133,13 +133,27 @@ pub fn build_tensor_with_pairs_by(
     )
 }
 
-fn singleton_row(oracle: &Oracle, j: &JobSpec, consolidated: bool) -> Vec<PairThroughput> {
+/// The throughput row of a single job across all accelerator types —
+/// the unit the simulator's incremental `SnapshotCache` computes once at
+/// admission and reuses for every later recompute.
+pub fn singleton_row(oracle: &Oracle, j: &JobSpec, consolidated: bool) -> Vec<PairThroughput> {
     GpuKind::all()
         .iter()
         .map(|&g| {
             PairThroughput::single(oracle.throughput(j.config, g, j.scale_factor, consolidated))
         })
         .collect()
+}
+
+/// Builds the oracle-backed pair row and pruning score for two jobs —
+/// the unit the simulator's incremental `SnapshotCache` evaluates once
+/// per (arriving job, resident job) pair instead of re-running the full
+/// O(n²) enumeration per recompute. Bitwise identical to what
+/// [`build_tensor_with_pairs`] computes for the same pair.
+pub fn pair_candidate(oracle: &Oracle, a: &JobSpec, b: &JobSpec) -> (f64, Vec<PairThroughput>) {
+    pair_row(oracle, a, b, &|x: &JobSpec, y: &JobSpec, g| {
+        oracle.colocated(x.config, y.config, g)
+    })
 }
 
 /// Builds the pair row and its pruning score: the best-type sum of
