@@ -30,6 +30,25 @@ impl Default for EstimatorConfig {
 ///
 /// The reference matrix `R` is `r x r`: entry `(i, j)` is reference job
 /// `i`'s normalized throughput when colocated with reference job `j`.
+///
+/// # Revision tracking
+///
+/// Every state change to a tracked job — [`register_job`] establishing its
+/// fingerprint and initial row, [`refine`] blending in an online
+/// measurement — stamps the job with the current value of a monotone
+/// global [`clock`]. Consumers that cache values derived from estimate
+/// rows (the simulator's bridged snapshot cache) remember the clock at
+/// their last sync and ask [`changed_since`] which jobs drifted, instead
+/// of assuming every estimate moved. [`forget`] clears a job's revision
+/// along with its row, so a reused key starts fresh; because revisions
+/// come from the global clock, a re-registered key always stamps strictly
+/// newer than anything it carried before.
+///
+/// [`register_job`]: ThroughputEstimator::register_job
+/// [`refine`]: ThroughputEstimator::refine
+/// [`forget`]: ThroughputEstimator::forget
+/// [`clock`]: ThroughputEstimator::clock
+/// [`changed_since`]: ThroughputEstimator::changed_since
 #[derive(Debug, Clone)]
 pub struct ThroughputEstimator {
     reference: Vec<Vec<f64>>,
@@ -38,6 +57,11 @@ pub struct ThroughputEstimator {
     estimates: HashMap<u64, Vec<f64>>,
     /// Which reference each tracked job mapped to.
     matched: HashMap<u64, usize>,
+    /// Monotone change counter; bumped by every mutation of a tracked
+    /// job's state.
+    clock: u64,
+    /// Per-tracked-job last-change stamp (values of `clock`).
+    revisions: HashMap<u64, u64>,
 }
 
 impl ThroughputEstimator {
@@ -58,6 +82,8 @@ impl ThroughputEstimator {
             config,
             estimates: HashMap::new(),
             matched: HashMap::new(),
+            clock: 0,
+            revisions: HashMap::new(),
         }
     }
 
@@ -115,6 +141,8 @@ impl ThroughputEstimator {
         }
         self.estimates.insert(key, row);
         self.matched.insert(key, matched);
+        self.clock += 1;
+        self.revisions.insert(key, self.clock);
         matched
     }
 
@@ -130,17 +158,46 @@ impl ThroughputEstimator {
 
     /// Feeds an online measurement: the job's observed normalized
     /// throughput against reference-class `j`, blended in by EMA.
+    ///
+    /// A no-op for unregistered keys — it neither creates state nor bumps
+    /// the job's revision, so cached derivations stay valid.
     pub fn refine(&mut self, key: u64, j: usize, measured: f64) {
         if let Some(row) = self.estimates.get_mut(&key) {
             let a = self.config.refine_alpha;
             row[j] = (1.0 - a) * row[j] + a * measured;
+            self.clock += 1;
+            self.revisions.insert(key, self.clock);
         }
     }
 
-    /// Removes a completed job's state.
+    /// Removes a completed job's state, including its revision stamp (no
+    /// leak across reused keys; see the type docs).
     pub fn forget(&mut self, key: u64) {
         self.estimates.remove(&key);
         self.matched.remove(&key);
+        self.revisions.remove(&key);
+    }
+
+    /// The current value of the monotone change clock. Snapshot this
+    /// before reading estimates, then pass it to [`Self::changed_since`]
+    /// later to learn which jobs drifted in between.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The clock value at `key`'s last state change, if registered.
+    pub fn revision(&self, key: u64) -> Option<u64> {
+        self.revisions.get(&key).copied()
+    }
+
+    /// Keys of all tracked jobs whose state changed after `epoch` (a value
+    /// previously obtained from [`Self::clock`]). Forgotten jobs are not
+    /// reported — their state is gone, not merely stale.
+    pub fn changed_since(&self, epoch: u64) -> impl Iterator<Item = u64> + '_ {
+        self.revisions
+            .iter()
+            .filter(move |&(_, &rev)| rev > epoch)
+            .map(|(&key, _)| key)
     }
 }
 
@@ -204,6 +261,54 @@ mod tests {
         est.forget(9);
         assert!(est.estimate(9).is_none());
         assert!(est.matched_reference(9).is_none());
+    }
+
+    #[test]
+    fn revisions_track_register_and_refine() {
+        let mut est = ThroughputEstimator::new(reference(), EstimatorConfig::default());
+        assert_eq!(est.clock(), 0);
+        let epoch0 = est.clock();
+        est.register_job(1, &[Some(0.9), None, None]);
+        est.register_job(2, &[Some(0.7), Some(0.55), None]);
+        let after_registration = est.clock();
+        assert!(after_registration > epoch0);
+        let mut dirty: Vec<u64> = est.changed_since(epoch0).collect();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![1, 2]);
+
+        // Refining job 1 moves only job 1 past the new epoch.
+        est.refine(1, 2, 0.5);
+        let dirty: Vec<u64> = est.changed_since(after_registration).collect();
+        assert_eq!(dirty, vec![1]);
+        assert!(est.revision(1).unwrap() > est.revision(2).unwrap());
+    }
+
+    #[test]
+    fn refine_on_unregistered_key_dirties_nothing() {
+        let mut est = ThroughputEstimator::new(reference(), EstimatorConfig::default());
+        est.register_job(1, &[Some(0.9), None, None]);
+        let epoch = est.clock();
+        est.refine(99, 0, 0.5);
+        assert_eq!(est.clock(), epoch, "no-op refine must not tick the clock");
+        assert_eq!(est.changed_since(epoch).count(), 0);
+        assert!(est.estimate(99).is_none(), "no state materialized");
+        assert!(est.revision(99).is_none());
+    }
+
+    #[test]
+    fn forget_clears_revision_and_reuse_stamps_fresh() {
+        let mut est = ThroughputEstimator::new(reference(), EstimatorConfig::default());
+        est.register_job(5, &[Some(0.9), None, None]);
+        est.refine(5, 1, 0.6);
+        let high_water = est.revision(5).unwrap();
+        est.forget(5);
+        assert!(est.revision(5).is_none(), "revision entry must be dropped");
+        assert_eq!(est.changed_since(0).count(), 0, "no leaked dirty keys");
+
+        // A reused key starts over with a strictly newer stamp: stale
+        // cached derivations keyed by the old revision can never match.
+        est.register_job(5, &[Some(0.7), Some(0.55), None]);
+        assert!(est.revision(5).unwrap() > high_water);
     }
 
     #[test]

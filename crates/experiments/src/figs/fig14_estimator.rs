@@ -33,7 +33,11 @@ pub fn run(scale: Scale) {
                         "no-ss" => MaxMinFairness::new(),
                         _ => {
                             cfg = cfg.with_space_sharing();
-                            cfg.estimate_pair_throughputs = mode == "estimated";
+                            if mode == "estimated" {
+                                // Full §6 loop: profile arrivals, refine
+                                // online from mechanism feedback.
+                                cfg = cfg.with_estimated_pairs();
+                            }
                             cfg.seed = s;
                             MaxMinFairness::with_space_sharing()
                         }

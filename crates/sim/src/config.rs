@@ -54,6 +54,13 @@ pub struct SimConfig {
     /// Use the throughput estimator for pair throughputs instead of the
     /// oracle (Figure 14). Ignored when `pairs` is `None`.
     pub estimate_pair_throughputs: bool,
+    /// Profile each arriving job against a few random reference jobs and
+    /// register it with the estimator (§6's dedicated profiling workers).
+    /// Registered jobs get fingerprint-matched estimates that *refine
+    /// online* as colocated pairs actually run; unregistered jobs fall
+    /// back to static per-configuration class estimates. Ignored unless
+    /// `estimate_pair_throughputs` is set.
+    pub profile_arriving_jobs: bool,
     /// Fluid ideal execution instead of the round mechanism (Figure 13b).
     pub ideal_execution: bool,
     /// Hard cap on simulated seconds (guards non-terminating scenarios).
@@ -80,6 +87,7 @@ impl SimConfig {
             recompute: RecomputeCadence::OnReset,
             pairs: None,
             estimate_pair_throughputs: false,
+            profile_arriving_jobs: false,
             ideal_execution: false,
             max_seconds: 3.0e8, // ~9.5 simulated years; effectively "until done".
             assume_consolidated: true,
@@ -99,6 +107,15 @@ impl SimConfig {
     /// Enables space sharing with default pair pruning.
     pub fn with_space_sharing(mut self) -> Self {
         self.pairs = Some(PairOptions::default());
+        self
+    }
+
+    /// Enables estimated pair throughputs with per-job profiling and
+    /// online refinement (Figure 14 with §6's estimator in the loop).
+    pub fn with_estimated_pairs(mut self) -> Self {
+        self.pairs = Some(PairOptions::default());
+        self.estimate_pair_throughputs = true;
+        self.profile_arriving_jobs = true;
         self
     }
 

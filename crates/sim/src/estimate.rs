@@ -7,6 +7,13 @@
 //! throughputs are then *estimated* as `isolated * estimated_normalized`
 //! instead of taken from the oracle. Online refinement feeds back true
 //! measurements whenever a pair actually runs.
+//!
+//! Estimate drift is *observable*: the bridge re-exports the estimator's
+//! monotone change clock ([`EstimatorBridge::clock`]) and the set of jobs
+//! whose fingerprint rows changed since a given epoch
+//! ([`EstimatorBridge::dirty_since`]), so the simulator's snapshot cache
+//! can re-derive only the pair rows that actually moved instead of
+//! assuming every estimate drifted.
 
 use gavel_core::JobId;
 use gavel_estimator::{EstimatorConfig, ThroughputEstimator};
@@ -133,6 +140,28 @@ impl EstimatorBridge {
         }
     }
 
+    /// The estimator's monotone change clock. Snapshot it before caching
+    /// values derived from estimates; pass the snapshot to
+    /// [`Self::dirty_since`] later to learn which jobs drifted.
+    pub fn clock(&self) -> u64 {
+        self.estimator.clock()
+    }
+
+    /// The clock value at `id`'s last estimator-state change, or `None`
+    /// for unregistered jobs (whose class estimates are static).
+    pub fn revision(&self, id: JobId) -> Option<u64> {
+        self.estimator.revision(id.0)
+    }
+
+    /// Jobs whose estimator state (fingerprint row or matched class)
+    /// changed after `epoch`, in ascending id order. Forgotten jobs are
+    /// not reported — callers drop their cached rows on removal anyway.
+    pub fn dirty_since(&self, epoch: u64) -> Vec<JobId> {
+        let mut dirty: Vec<JobId> = self.estimator.changed_since(epoch).map(JobId).collect();
+        dirty.sort_unstable();
+        dirty
+    }
+
     /// The reference class a job maps to: its matched fingerprint if
     /// registered, else its exact configuration's class.
     fn class_of(&self, id: JobId, cfg: JobConfig) -> usize {
@@ -215,6 +244,66 @@ mod tests {
             (est.0 - truth.0).abs() / truth.0 < 0.05,
             "refined est {est:?} vs truth {truth:?}"
         );
+    }
+
+    #[test]
+    fn forget_fully_clears_job_state() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 4);
+        let a = (JobId(7), JobConfig::new(ModelFamily::A3C, 4));
+        let b = (JobId(8), JobConfig::new(ModelFamily::ResNet18, 16));
+        bridge.register(&oracle, a.0, a.1);
+        bridge.register(&oracle, b.0, b.1);
+        bridge.observe(&oracle, a, b, GpuKind::V100);
+        bridge.forget(a.0);
+        // No revision-map leak: only b remains dirty-trackable, and a's
+        // old refinements are invisible to any epoch query.
+        assert_eq!(bridge.dirty_since(0), vec![b.0]);
+
+        // Reusing a's JobId starts from a clean registration whose
+        // revision is strictly newer than anything the old job had: a
+        // cached pair row keyed by the old revision can never collide.
+        let clock_before_reuse = bridge.clock();
+        bridge.register(&oracle, a.0, a.1);
+        assert_eq!(bridge.dirty_since(clock_before_reuse), vec![a.0]);
+    }
+
+    #[test]
+    fn refine_on_unregistered_job_is_a_noop_that_dirties_nothing() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 5);
+        let a = (JobId(1), JobConfig::new(ModelFamily::A3C, 4));
+        let b = (JobId(2), JobConfig::new(ModelFamily::ResNet18, 16));
+        // Neither job registered: observing a running pair feeds refine,
+        // which must neither materialize state nor dirty anything.
+        let epoch = bridge.clock();
+        let before = bridge.pair_throughput(&oracle, a, b, GpuKind::V100);
+        bridge.observe(&oracle, a, b, GpuKind::V100);
+        assert_eq!(bridge.clock(), epoch, "no-op refine must not tick");
+        assert!(bridge.dirty_since(epoch).is_empty());
+        // And the estimate is bitwise unchanged (class-default path).
+        let after = bridge.pair_throughput(&oracle, a, b, GpuKind::V100);
+        assert_eq!(
+            before.map(|(x, y)| (x.to_bits(), y.to_bits())),
+            after.map(|(x, y)| (x.to_bits(), y.to_bits())),
+        );
+    }
+
+    #[test]
+    fn observe_dirties_exactly_the_refined_jobs() {
+        let oracle = Oracle::new();
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 6);
+        let a = (JobId(1), JobConfig::new(ModelFamily::A3C, 4));
+        let b = (JobId(2), JobConfig::new(ModelFamily::ResNet18, 16));
+        let c = (JobId(3), JobConfig::new(ModelFamily::Lstm, 20));
+        bridge.register(&oracle, a.0, a.1);
+        bridge.register(&oracle, b.0, b.1);
+        bridge.register(&oracle, c.0, c.1);
+        let epoch = bridge.clock();
+        bridge.observe(&oracle, a, b, GpuKind::V100);
+        assert_eq!(bridge.dirty_since(epoch), vec![a.0, b.0]);
+        // Draining the epoch forward leaves nothing dirty.
+        assert!(bridge.dirty_since(bridge.clock()).is_empty());
     }
 
     #[test]

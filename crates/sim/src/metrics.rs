@@ -1,5 +1,6 @@
 //! Simulation outcomes and the metrics the paper reports.
 
+use crate::snapshot::SnapshotStats;
 use gavel_core::JobId;
 use gavel_workloads::JobConfig;
 
@@ -87,6 +88,10 @@ pub struct SimResult {
     /// Nonzero values usually mean the trace was generated for a larger
     /// cluster (see `TraceConfig::capped_for` for trace-level capping).
     pub never_placeable: usize,
+    /// Snapshot-cache counters for the run: oracle-backed incremental
+    /// snapshots, bridged partial/full re-derivations, and row/pair-eval
+    /// volumes — the observability hooks the perf gates assert on.
+    pub snapshot_stats: SnapshotStats,
 }
 
 impl SimResult {
@@ -247,6 +252,7 @@ mod tests {
             policy_solve_seconds: 0.0,
             policy_failures: 0,
             never_placeable: 0,
+            snapshot_stats: SnapshotStats::default(),
         };
         // All 10 jobs: mean of 1..=10 hours = 5.5.
         assert!((r.avg_jct_hours() - 5.5).abs() < 1e-9);

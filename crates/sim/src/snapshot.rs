@@ -27,14 +27,50 @@
 //! position_k) at snapshot time, a total order that reproduces the stable
 //! sort exactly, before applying the same greedy per-job cap.
 //!
+//! # Bridged (estimated) invalidation protocol
+//!
 //! Estimated pair throughputs (Figure 14) drift as the estimator refines,
-//! so bridged runs bypass the pair cache and rebuild from the live
-//! estimator; [`SnapshotStats::full_rebuilds`] counts those, and the sim
-//! bench gates on the oracle-backed path never falling back.
+//! so a pair row derived from the bridge is only valid as long as neither
+//! member's estimator state has changed. A cache in *bridged* mode
+//! ([`SnapshotCache::new_bridged`]) makes that validity explicit instead
+//! of assumed-global:
+//!
+//! - every cached pair entry is keyed by the two jobs' **estimator
+//!   revisions** (monotone per-job stamps from the estimator's global
+//!   change clock) at derivation time;
+//! - the cache remembers the estimator **clock epoch** of its last sync;
+//!   at each [`SnapshotCache::snapshot_bridged`] it asks the bridge for
+//!   the set of jobs whose state changed since that epoch (the *dirty
+//!   set*), unions in jobs admitted since the last snapshot (whose pair
+//!   entries do not exist yet), and re-derives **only the pair rows
+//!   touching those jobs** — O(|dirty| · n) bridge evaluations instead of
+//!   O(n²);
+//! - when the dirty set exceeds a configurable fraction of the resident
+//!   single-worker jobs (`dirty_fraction`, [`BRIDGED_DIRTY_FRACTION`] by
+//!   default), partial re-derivation would cost as much as starting over,
+//!   so the cache falls back to a full re-derivation of every pair —
+//!   counted separately in [`SnapshotStats::bridged_full_rebuilds`] so
+//!   benches and CI can gate on the steady state staying partial.
+//!
+//! Below-threshold pairs keep only their pruning score (the row is
+//! re-derived if the pair ever drifts back above the threshold), and the
+//! assembled bridged snapshot reuses the same (score, position, position)
+//! ranking as the oracle path, so it is row-for-row bitwise identical to
+//! a fresh estimator-driven `build_tensor_with_pairs_by` rebuild at the
+//! same estimator state (proptested under random admit/complete/refine
+//! interleavings, including past the fallback threshold).
 
+use crate::estimate::EstimatorBridge;
 use gavel_core::{Combo, ComboSet, JobId, PairThroughput, PolicyJob, ThroughputTensor};
-use gavel_workloads::{pair_candidate, singleton_row, GpuKind, JobSpec, Oracle, PairOptions};
-use std::collections::HashMap;
+use gavel_workloads::{
+    pair_candidate, pair_candidate_by, singleton_row, GpuKind, JobSpec, Oracle, PairOptions,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Default dirty-set fallback threshold for bridged caches: when more
+/// than this fraction of the resident single-worker jobs drifted since
+/// the last snapshot, re-derive every pair instead of patching.
+pub const BRIDGED_DIRTY_FRACTION: f64 = 0.5;
 
 /// A scored space-sharing pair kept alive across recomputes.
 #[derive(Debug, Clone)]
@@ -45,15 +81,57 @@ struct PairCandidate {
     row: Vec<PairThroughput>,
 }
 
+/// A cached estimator-derived pair, keyed by the estimator revisions of
+/// its two members at derivation time (`None` = unregistered, whose class
+/// estimate is static). The dirty-set protocol alone guarantees entries
+/// are never stale, so the revision key is materialized only in debug
+/// builds, where assembly re-checks it against the live bridge — at
+/// 2048 jobs the cache holds ~2M entries and release builds should not
+/// pay ~32 bytes each for an assert-only field.
+#[derive(Debug, Clone)]
+struct BridgedEntry {
+    #[cfg(debug_assertions)]
+    revs: (Option<u64>, Option<u64>),
+    score: f64,
+    /// Pair row in canonical (low `JobId`, high `JobId`) order; kept only
+    /// while the score clears the pruning threshold.
+    row: Option<Vec<PairThroughput>>,
+}
+
+/// Bridged-mode state: the per-pair estimate cache and its sync epoch.
+#[derive(Debug, Clone)]
+struct BridgedPairs {
+    opts: PairOptions,
+    dirty_fraction: f64,
+    /// Canonical (low `JobId`, high `JobId`) → cached entry.
+    entries: HashMap<(JobId, JobId), BridgedEntry>,
+    /// Per-job partner index so `remove` drops a job's entries without
+    /// scanning the whole map.
+    partners: HashMap<JobId, HashSet<JobId>>,
+    /// Estimator clock at the last snapshot sync.
+    epoch: u64,
+    /// Single-worker jobs admitted since the last snapshot — their pair
+    /// entries do not exist yet.
+    fresh: Vec<JobId>,
+    /// Memoized assembled pair selection (entry keys in emission order),
+    /// valid while `selection_dirty` is false.
+    selected: Vec<(JobId, JobId)>,
+}
+
 /// Counters making the incremental path observable (and gateable).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnapshotStats {
-    /// Snapshots served from cached rows.
+    /// Oracle-backed snapshots served from cached rows.
     pub incremental_snapshots: usize,
-    /// Recomputes that bypassed the cache and rebuilt from scratch
-    /// (estimator-bridged runs only; zero on the oracle-backed path).
-    pub full_rebuilds: usize,
-    /// Oracle pair evaluations performed at admission.
+    /// Bridged snapshots that re-derived only dirty/fresh pair rows (or
+    /// none at all) — the steady-state estimated path.
+    pub bridged_partial_rebuilds: usize,
+    /// Bridged snapshots that re-derived every pair because the dirty set
+    /// exceeded the fallback threshold (expected only at initial
+    /// population or after estimate-drift bursts).
+    pub bridged_full_rebuilds: usize,
+    /// Pair-row evaluations performed (oracle at admission, or bridge at
+    /// bridged re-derivation).
     pub pair_evals: usize,
     /// Singleton rows appended (admissions).
     pub rows_appended: usize,
@@ -72,6 +150,8 @@ pub struct SnapshotCache {
     consolidated: bool,
     /// Pair generation options; `None` = singleton-only snapshots.
     pairs: Option<PairOptions>,
+    /// Bridged (estimated) pair state; mutually exclusive with `pairs`.
+    bridged: Option<BridgedPairs>,
     specs: Vec<JobSpec>,
     singleton_rows: Vec<Vec<PairThroughput>>,
     policy_jobs: Vec<PolicyJob>,
@@ -92,6 +172,7 @@ impl SnapshotCache {
         SnapshotCache {
             consolidated,
             pairs,
+            bridged: None,
             specs: Vec::new(),
             singleton_rows: Vec::new(),
             policy_jobs: Vec::new(),
@@ -100,6 +181,25 @@ impl SnapshotCache {
             selection_dirty: true,
             stats: SnapshotStats::default(),
         }
+    }
+
+    /// Creates an empty cache in bridged (estimated) mode: pair rows come
+    /// from an [`EstimatorBridge`] at [`Self::snapshot_bridged`] time and
+    /// are invalidated per job via estimator revisions (see the module
+    /// docs). `dirty_fraction` sets the fallback threshold
+    /// ([`BRIDGED_DIRTY_FRACTION`] is the engine's default).
+    pub fn new_bridged(consolidated: bool, opts: PairOptions, dirty_fraction: f64) -> Self {
+        let mut cache = SnapshotCache::new(consolidated, None);
+        cache.bridged = Some(BridgedPairs {
+            opts,
+            dirty_fraction,
+            entries: HashMap::new(),
+            partners: HashMap::new(),
+            epoch: 0,
+            fresh: Vec::new(),
+            selected: Vec::new(),
+        });
+        cache
     }
 
     /// Number of resident jobs.
@@ -135,7 +235,9 @@ impl SnapshotCache {
 
     /// Admits a job: computes its singleton row and, when pairs are
     /// enabled and the job is single-worker, one scored candidate against
-    /// every resident single-worker job.
+    /// every resident single-worker job. In bridged mode pair derivation
+    /// is deferred to [`Self::snapshot_bridged`] (the job is recorded as
+    /// fresh).
     pub fn admit(&mut self, oracle: &Oracle, spec: JobSpec, job: PolicyJob) {
         debug_assert_eq!(spec.id, job.id, "spec/job identity mismatch");
         self.singleton_rows
@@ -160,6 +262,11 @@ impl SnapshotCache {
                 }
             }
         }
+        if let Some(br) = self.bridged.as_mut() {
+            if spec.scale_factor == 1 {
+                br.fresh.push(spec.id);
+            }
+        }
         self.specs.push(spec);
         self.policy_jobs.push(job);
         self.selection_dirty = true;
@@ -175,6 +282,16 @@ impl SnapshotCache {
         if self.pairs.is_some() {
             self.candidates.retain(|c| c.a != id && c.b != id);
         }
+        if let Some(br) = self.bridged.as_mut() {
+            if let Some(partners) = br.partners.remove(&id) {
+                for p in partners {
+                    br.entries.remove(&canonical(id, p));
+                    if let Some(set) = br.partners.get_mut(&p) {
+                        set.remove(&id);
+                    }
+                }
+            }
+        }
         self.selection_dirty = true;
         self.stats.rows_dropped += 1;
     }
@@ -183,8 +300,13 @@ impl SnapshotCache {
     ///
     /// Row-for-row identical to `build_tensor_with_pairs(oracle, specs,
     /// consolidated, opts)` (or `build_singleton_tensor` without pairs)
-    /// over the current job vector, without any oracle lookups.
+    /// over the current job vector, without any oracle lookups. Bridged
+    /// caches must use [`Self::snapshot_bridged`] instead.
     pub fn snapshot(&mut self) -> (ComboSet, ThroughputTensor) {
+        assert!(
+            self.bridged.is_none(),
+            "bridged caches assemble through snapshot_bridged"
+        );
         self.stats.incremental_snapshots += 1;
         let num_types = GpuKind::all().len();
         let mut combos: Vec<Combo> = self.specs.iter().map(|s| Combo::single(s.id)).collect();
@@ -206,15 +328,132 @@ impl SnapshotCache {
         )
     }
 
+    /// Assembles the current snapshot with pair rows from `bridge`,
+    /// re-deriving only the rows whose members' estimates drifted since
+    /// the last call (see the module docs for the invalidation protocol).
+    ///
+    /// Row-for-row identical to `build_tensor_with_pairs_by(oracle,
+    /// specs, consolidated, opts, |a, b, g| bridge.pair_throughput(...))`
+    /// at the bridge's current state.
+    pub fn snapshot_bridged(
+        &mut self,
+        oracle: &Oracle,
+        bridge: &EstimatorBridge,
+    ) -> (ComboSet, ThroughputTensor) {
+        let br = self.bridged.as_mut().expect("cache not in bridged mode");
+        let opts = br.opts;
+
+        // Dirty set: estimator drift since the last sync, plus admissions
+        // whose entries do not exist yet — restricted to resident
+        // single-worker jobs (only those form pairs).
+        let single_pos: HashMap<JobId, u32> = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.scale_factor == 1)
+            .map(|(i, s)| (s.id, i as u32))
+            .collect();
+        let mut work: Vec<JobId> = bridge
+            .dirty_since(br.epoch)
+            .into_iter()
+            .chain(br.fresh.drain(..))
+            .filter(|id| single_pos.contains_key(id))
+            .collect();
+        work.sort_unstable();
+        work.dedup();
+        br.epoch = bridge.clock();
+
+        let n_single = single_pos.len();
+        let full = !work.is_empty() && work.len() as f64 > br.dirty_fraction * n_single as f64;
+        if full {
+            // Past the threshold patching costs as much as starting over:
+            // re-derive every pair.
+            br.entries.clear();
+            br.partners.clear();
+            self.stats.bridged_full_rebuilds += 1;
+        } else {
+            self.stats.bridged_partial_rebuilds += 1;
+        }
+
+        // Re-derive the affected rows. `work` is empty on a clean cache
+        // (cadence recompute with no drift), making this a pure assembly.
+        let singles: Vec<&JobSpec> = self.specs.iter().filter(|s| s.scale_factor == 1).collect();
+        let work_set: HashSet<JobId> = work.iter().copied().collect();
+        let mut derive = |a: &JobSpec, b: &JobSpec, br: &mut BridgedPairs| {
+            let (score, row) = pair_candidate_by(oracle, a, b, |x, y, g| {
+                bridge.pair_throughput(oracle, (x.id, x.config), (y.id, y.config), g)
+            });
+            self.stats.pair_evals += 1;
+            let key = canonical(a.id, b.id);
+            br.entries.insert(
+                key,
+                BridgedEntry {
+                    #[cfg(debug_assertions)]
+                    revs: (bridge.revision(key.0), bridge.revision(key.1)),
+                    score,
+                    row: (score >= opts.min_aggregate).then_some(row),
+                },
+            );
+            br.partners.entry(a.id).or_default().insert(b.id);
+            br.partners.entry(b.id).or_default().insert(a.id);
+        };
+        if full {
+            for (i, a) in singles.iter().enumerate() {
+                for b in &singles[i + 1..] {
+                    derive(a, b, br);
+                }
+            }
+        } else {
+            for &w in &work {
+                let ws = &self.specs[single_pos[&w] as usize];
+                for other in &singles {
+                    if other.id == w || (work_set.contains(&other.id) && other.id < w) {
+                        continue;
+                    }
+                    derive(ws, other, br);
+                }
+            }
+        }
+        if !work.is_empty() {
+            self.selection_dirty = true;
+        }
+
+        // Rank + greedy cap, memoized while nothing changed.
+        if self.selection_dirty {
+            let ranked = rank_and_cap(
+                br.entries.iter().filter_map(|(&(a, b), e)| {
+                    (e.score >= opts.min_aggregate).then_some((a, b, e.score, (a, b)))
+                }),
+                &single_pos,
+                self.specs.len(),
+                opts.max_pairs_per_job,
+            );
+            br.selected = ranked;
+            self.selection_dirty = false;
+        }
+
+        let num_types = GpuKind::all().len();
+        let mut combos: Vec<Combo> = self.specs.iter().map(|s| Combo::single(s.id)).collect();
+        let mut rows = self.singleton_rows.clone();
+        for &(a, b) in &br.selected {
+            let entry = &br.entries[&(a, b)];
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                entry.revs,
+                (bridge.revision(a), bridge.revision(b)),
+                "stale bridged entry ({a}, {b}) survived invalidation"
+            );
+            combos.push(Combo::pair(a, b));
+            rows.push(entry.row.clone().expect("selected entry has a row"));
+        }
+        (
+            ComboSet::new(combos),
+            ThroughputTensor::new(num_types, rows),
+        )
+    }
+
     /// Re-runs the fresh builder's candidate ranking and greedy per-job
     /// cap over the cached candidates.
-    ///
-    /// The fresh builder stable-sorts by score, so equal-scoring pairs
-    /// keep their (i, k) enumeration order in the *current* job vector.
-    /// To reproduce that total order cheaply, each candidate is packed
-    /// into a single `u128` key — descending score bits (pair scores are
-    /// non-negative finite, so the IEEE bit pattern orders like the
-    /// value), then the two positions — and sorted branchlessly.
     fn reselect_pairs(&mut self) {
         let opts = self.pairs.expect("pair selection requires options");
         let pos: HashMap<JobId, u32> = self
@@ -223,49 +462,77 @@ impl SnapshotCache {
             .enumerate()
             .map(|(i, s)| (s.id, i as u32))
             .collect();
-        let mut keys: Vec<(u128, u32)> = self
-            .candidates
-            .iter()
-            .enumerate()
-            .map(|(c, cand)| {
-                let pa = pos[&cand.a];
-                let pb = pos[&cand.b];
-                let (i, k) = if pa < pb { (pa, pb) } else { (pb, pa) };
-                debug_assert!(cand.score >= 0.0 && cand.score.is_finite());
-                let score_desc = !cand.score.to_bits();
-                let key = ((score_desc as u128) << 64) | ((i as u128) << 32) | (k as u128);
-                (key, c as u32)
-            })
-            .collect();
-        keys.sort_unstable();
-        let mut per_job_count = vec![0usize; self.specs.len()];
-        self.selected.clear();
-        for &(key, c) in &keys {
-            let i = ((key >> 32) & 0xffff_ffff) as usize;
-            let k = (key & 0xffff_ffff) as usize;
-            if per_job_count[i] >= opts.max_pairs_per_job
-                || per_job_count[k] >= opts.max_pairs_per_job
-            {
-                continue;
-            }
-            per_job_count[i] += 1;
-            per_job_count[k] += 1;
-            self.selected.push(c as usize);
-        }
+        self.selected = rank_and_cap(
+            self.candidates
+                .iter()
+                .enumerate()
+                .map(|(c, cand)| (cand.a, cand.b, cand.score, c)),
+            &pos,
+            self.specs.len(),
+            opts.max_pairs_per_job,
+        );
     }
+}
 
-    /// Records that a recompute bypassed the cache (estimator-bridged
-    /// rebuild); the oracle-backed path must never take this.
-    pub fn note_full_rebuild(&mut self) {
-        self.stats.full_rebuilds += 1;
+/// Canonical (low, high) pair key.
+fn canonical(a: JobId, b: JobId) -> (JobId, JobId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
     }
+}
+
+/// Ranks scored pair candidates exactly like the fresh builder and
+/// applies its greedy per-job cap, returning each surviving candidate's
+/// `tag` in emission order.
+///
+/// The fresh builder stable-sorts by score, so equal-scoring pairs keep
+/// their (i, k) enumeration order in the *current* job vector. To
+/// reproduce that total order cheaply, each candidate is packed into a
+/// single `u128` key — descending score bits (pair scores are
+/// non-negative finite, so the IEEE bit pattern orders like the value),
+/// then the two positions — and sorted branchlessly.
+fn rank_and_cap<T: Copy>(
+    candidates: impl Iterator<Item = (JobId, JobId, f64, T)>,
+    pos: &HashMap<JobId, u32>,
+    n_jobs: usize,
+    max_pairs_per_job: usize,
+) -> Vec<T> {
+    let mut keys: Vec<(u128, T)> = candidates
+        .map(|(a, b, score, tag)| {
+            let pa = pos[&a];
+            let pb = pos[&b];
+            let (i, k) = if pa < pb { (pa, pb) } else { (pb, pa) };
+            debug_assert!(score >= 0.0 && score.is_finite());
+            let score_desc = !score.to_bits();
+            let key = ((score_desc as u128) << 64) | ((i as u128) << 32) | (k as u128);
+            (key, tag)
+        })
+        .collect();
+    keys.sort_unstable_by_key(|&(key, _)| key);
+    let mut per_job_count = vec![0usize; n_jobs];
+    let mut selected = Vec::new();
+    for &(key, tag) in &keys {
+        let i = ((key >> 32) & 0xffff_ffff) as usize;
+        let k = (key & 0xffff_ffff) as usize;
+        if per_job_count[i] >= max_pairs_per_job || per_job_count[k] >= max_pairs_per_job {
+            continue;
+        }
+        per_job_count[i] += 1;
+        per_job_count[k] += 1;
+        selected.push(tag);
+    }
+    selected
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gavel_estimator::EstimatorConfig;
     use gavel_workloads::{
-        build_singleton_tensor, build_tensor_with_pairs, JobConfig, ModelFamily,
+        build_singleton_tensor, build_tensor_with_pairs, build_tensor_with_pairs_by, JobConfig,
+        ModelFamily,
     };
 
     fn spec(id: u64, family: ModelFamily, batch: u32) -> JobSpec {
@@ -300,6 +567,25 @@ mod tests {
         }
     }
 
+    fn assert_bridged_matches_fresh(
+        cache: &mut SnapshotCache,
+        oracle: &Oracle,
+        bridge: &EstimatorBridge,
+        opts: PairOptions,
+    ) {
+        let specs = cache.specs().to_vec();
+        let (combos, tensor) = cache.snapshot_bridged(oracle, bridge);
+        let (fresh_combos, fresh_tensor) =
+            build_tensor_with_pairs_by(oracle, &specs, true, &opts, |x, y, g| {
+                bridge.pair_throughput(oracle, (x.id, x.config), (y.id, y.config), g)
+            });
+        assert_eq!(combos.combos(), fresh_combos.combos(), "combo rows differ");
+        assert_eq!(tensor.num_rows(), fresh_tensor.num_rows());
+        for k in 0..tensor.num_rows() {
+            assert_eq!(tensor.row(k), fresh_tensor.row(k), "tensor row {k} differs");
+        }
+    }
+
     #[test]
     fn incremental_matches_fresh_through_churn() {
         let oracle = Oracle::new();
@@ -319,7 +605,6 @@ mod tests {
         let s = spec(20, ModelFamily::A3C, 4);
         cache.admit(&oracle, s, PolicyJob::simple(s.id, 50.0));
         assert_matches_fresh(&mut cache, &oracle, Some(opts));
-        assert_eq!(cache.stats().full_rebuilds, 0);
         assert!(cache.stats().incremental_snapshots > 0);
     }
 
@@ -374,5 +659,100 @@ mod tests {
                 .count();
             assert!(n <= 2, "{} appears in {n} pairs", s.id);
         }
+    }
+
+    #[test]
+    fn bridged_matches_fresh_through_drift_and_churn() {
+        let oracle = Oracle::new();
+        let opts = PairOptions {
+            min_aggregate: 1.0,
+            max_pairs_per_job: 4,
+        };
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 9);
+        let mut cache = SnapshotCache::new_bridged(true, opts, BRIDGED_DIRTY_FRACTION);
+        for i in 0..8u64 {
+            let s = spec_nth(i, i as usize * 5 + 2);
+            bridge.register(&oracle, s.id, s.config);
+            cache.admit(&oracle, s, PolicyJob::simple(s.id, 100.0));
+            assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        }
+        // Refine two jobs (dirtying exactly them) and churn the vector.
+        let (a, b) = (cache.specs()[1], cache.specs()[4]);
+        bridge.observe(&oracle, (a.id, a.config), (b.id, b.config), GpuKind::V100);
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        for &i in &[3usize, 0] {
+            let id = cache.specs()[i].id;
+            cache.remove(i);
+            bridge.forget(id);
+            assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        }
+        // A clean recompute (no drift, no churn) is a pure assembly and
+        // must also match.
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        let stats = cache.stats();
+        assert!(
+            stats.bridged_partial_rebuilds > 0,
+            "steady state must stay partial: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn bridged_falls_back_past_dirty_threshold_and_recovers() {
+        let oracle = Oracle::new();
+        let opts = PairOptions {
+            min_aggregate: 1.0,
+            max_pairs_per_job: 8,
+        };
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 11);
+        let mut cache = SnapshotCache::new_bridged(true, opts, 0.5);
+        for i in 0..6u64 {
+            let s = spec_nth(i, i as usize * 3 + 1);
+            bridge.register(&oracle, s.id, s.config);
+            cache.admit(&oracle, s, PolicyJob::simple(s.id, 100.0));
+        }
+        // Initial population: every resident job is fresh → full rebuild.
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        assert_eq!(cache.stats().bridged_full_rebuilds, 1);
+
+        // Dirty well past half the residents: falls back to full again,
+        // and the result still matches the fresh build bit-for-bit.
+        for i in 0..4usize {
+            let (a, b) = (cache.specs()[i], cache.specs()[(i + 1) % 6]);
+            bridge.observe(&oracle, (a.id, a.config), (b.id, b.config), GpuKind::V100);
+        }
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        assert_eq!(cache.stats().bridged_full_rebuilds, 2);
+
+        // One refined pair afterwards stays on the partial path.
+        let partial_before = cache.stats().bridged_partial_rebuilds;
+        let (a, b) = (cache.specs()[0], cache.specs()[1]);
+        bridge.observe(&oracle, (a.id, a.config), (b.id, b.config), GpuKind::V100);
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        assert_eq!(cache.stats().bridged_full_rebuilds, 2);
+        assert_eq!(cache.stats().bridged_partial_rebuilds, partial_before + 1);
+    }
+
+    #[test]
+    fn bridged_mixes_registered_and_unregistered_jobs() {
+        // Unregistered jobs ride the static class-estimate path; their
+        // pairs never dirty, while registered partners still invalidate.
+        let oracle = Oracle::new();
+        let opts = PairOptions {
+            min_aggregate: 1.0,
+            max_pairs_per_job: 8,
+        };
+        let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), 13);
+        let mut cache = SnapshotCache::new_bridged(true, opts, BRIDGED_DIRTY_FRACTION);
+        for i in 0..6u64 {
+            let s = spec_nth(i, i as usize * 7 + 3);
+            if i % 2 == 0 {
+                bridge.register(&oracle, s.id, s.config);
+            }
+            cache.admit(&oracle, s, PolicyJob::simple(s.id, 100.0));
+        }
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
+        let (a, b) = (cache.specs()[0], cache.specs()[2]);
+        bridge.observe(&oracle, (a.id, a.config), (b.id, b.config), GpuKind::V100);
+        assert_bridged_matches_fresh(&mut cache, &oracle, &bridge, opts);
     }
 }

@@ -158,6 +158,42 @@ fn estimated_throughputs_close_to_oracle() {
 }
 
 #[test]
+fn profiled_estimation_stays_close_and_rebuilds_partially() {
+    // Full §6 loop: arrivals are profiled/fingerprinted and estimates
+    // refine online as colocated pairs run. The run must stay close to
+    // the oracle-backed result, and the bridged snapshot cache must serve
+    // those drifting estimates with per-pair invalidation — every
+    // recompute classified, the partial path exercised, and the
+    // oracle-mode counter untouched.
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(2.0, 40, 19), &oracle);
+    let base = SimConfig::new(cluster_twelve()).with_space_sharing();
+    let oracle_run = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &base);
+    let est_cfg = SimConfig::new(cluster_twelve()).with_estimated_pairs();
+    let est_run = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &est_cfg);
+    let o = oracle_run.avg_jct_hours();
+    let e = est_run.avg_jct_hours();
+    assert!(
+        (e - o) / o < 0.25,
+        "profiled estimates {e} vs oracle {o} diverge too much"
+    );
+    let s = est_run.snapshot_stats;
+    assert_eq!(
+        s.bridged_partial_rebuilds + s.bridged_full_rebuilds,
+        est_run.recomputations
+    );
+    assert!(
+        s.bridged_partial_rebuilds > 0,
+        "partial path never fired: {s:?}"
+    );
+    assert_eq!(s.incremental_snapshots, 0);
+    // The oracle-backed run, in turn, never touches the bridged path.
+    let so = oracle_run.snapshot_stats;
+    assert_eq!(so.bridged_partial_rebuilds + so.bridged_full_rebuilds, 0);
+    assert!(so.incremental_snapshots > 0);
+}
+
+#[test]
 fn makespan_policy_beats_fifo_on_static_trace() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::static_single(40, 23), &oracle);

@@ -1,10 +1,15 @@
-//! Property test: the incremental snapshot is row-for-row identical to a
-//! fresh tensor build under arbitrary admit/complete interleavings.
+//! Property tests: the incremental snapshot is row-for-row identical to a
+//! fresh tensor build under arbitrary admit/complete interleavings — and,
+//! in bridged mode, under arbitrary admit/complete/refine interleavings
+//! against a live estimator, including past the dirty-set fallback
+//! threshold.
 
 use gavel_core::{JobId, PolicyJob};
-use gavel_sim::SnapshotCache;
+use gavel_estimator::EstimatorConfig;
+use gavel_sim::{EstimatorBridge, SnapshotCache};
 use gavel_workloads::{
-    build_singleton_tensor, build_tensor_with_pairs, JobConfig, JobSpec, Oracle, PairOptions,
+    build_singleton_tensor, build_tensor_with_pairs, build_tensor_with_pairs_by, GpuKind,
+    JobConfig, JobSpec, Oracle, PairOptions,
 };
 use proptest::prelude::*;
 
@@ -53,7 +58,96 @@ fn run_sequence(ops: &[(bool, usize, usize, usize)], opts: Option<PairOptions>) 
             assert_eq!(tensor.row(k), fresh_tensor.row(k), "row {k} diverges");
         }
     }
-    assert_eq!(cache.stats().full_rebuilds, 0);
+    let stats = cache.stats();
+    assert_eq!(stats.bridged_partial_rebuilds, 0);
+    assert_eq!(stats.bridged_full_rebuilds, 0);
+}
+
+/// Bridged-mode interleavings: admits (registered with the estimator or
+/// not), completions (with estimator forget), and `observe` bursts that
+/// refine anywhere from one pair up to every resident job — the latter
+/// pushing the dirty set past the fallback threshold. After every op the
+/// bridged snapshot must be row-for-row bitwise identical to a fresh
+/// estimator-driven rebuild at the same estimator state.
+fn run_bridged_sequence(
+    ops: &[(usize, usize, usize, usize)],
+    opts: PairOptions,
+    dirty_fraction: f64,
+    seed: u64,
+) {
+    let oracle = Oracle::new();
+    let all = JobConfig::all();
+    let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), seed);
+    let mut cache = SnapshotCache::new_bridged(true, opts, dirty_fraction);
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut next_id = 0u64;
+    let mut snapshots = 0usize;
+    for &(kind, pick, cfg_idx, extra) in ops {
+        match kind % 4 {
+            // Admit (half the op space), registering most jobs with the
+            // estimator; unregistered jobs ride the static class path.
+            0 | 3 => {
+                let spec = JobSpec {
+                    id: JobId(next_id),
+                    config: all[cfg_idx % all.len()],
+                    scale_factor: if extra % 5 == 0 { 2 } else { 1 },
+                };
+                next_id += 1;
+                if extra % 4 != 1 {
+                    bridge.register(&oracle, spec.id, spec.config);
+                }
+                cache.admit(&oracle, spec, PolicyJob::simple(spec.id, 1000.0));
+                specs.push(spec);
+            }
+            // Complete: swap-remove churn plus estimator forget.
+            1 if !specs.is_empty() => {
+                let i = pick % specs.len();
+                let id = specs[i].id;
+                cache.remove(i);
+                specs.swap_remove(i);
+                bridge.forget(id);
+            }
+            // Observe burst: refine 1..=len colocated pairs, dirtying up
+            // to every resident job (past any dirty_fraction threshold).
+            2 if specs.len() >= 2 => {
+                let burst = extra % specs.len() + 1;
+                for k in 0..burst {
+                    let i = (pick + k) % specs.len();
+                    let j = (i + 1) % specs.len();
+                    let (a, b) = (specs[i], specs[j]);
+                    bridge.observe(&oracle, (a.id, a.config), (b.id, b.config), GpuKind::V100);
+                }
+            }
+            _ => continue,
+        }
+        let (combos, tensor) = cache.snapshot_bridged(&oracle, &bridge);
+        snapshots += 1;
+        let (fresh_combos, fresh_tensor) =
+            build_tensor_with_pairs_by(&oracle, &specs, true, &opts, |x, y, g| {
+                bridge.pair_throughput(&oracle, (x.id, x.config), (y.id, y.config), g)
+            });
+        assert_eq!(
+            combos.combos(),
+            fresh_combos.combos(),
+            "bridged combo rows diverge at {} jobs",
+            specs.len()
+        );
+        assert_eq!(tensor.num_rows(), fresh_tensor.num_rows());
+        for k in 0..tensor.num_rows() {
+            assert_eq!(
+                tensor.row(k),
+                fresh_tensor.row(k),
+                "bridged row {k} diverges"
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.bridged_partial_rebuilds + stats.bridged_full_rebuilds,
+        snapshots,
+        "every bridged snapshot is classified partial or full"
+    );
+    assert_eq!(stats.incremental_snapshots, 0);
 }
 
 proptest! {
@@ -73,5 +167,21 @@ proptest! {
         ops in prop::collection::vec((any::<bool>(), 0usize..64, 0usize..64, 0usize..16), 1..40),
     ) {
         run_sequence(&ops, None);
+    }
+
+    #[test]
+    fn bridged_equals_fresh_under_drift(
+        ops in prop::collection::vec((0usize..4, 0usize..64, 0usize..64, 0usize..16), 1..30),
+        min_aggregate in 1.0f64..1.5,
+        max_pairs in 1usize..6,
+        dirty_fraction in 0.2f64..0.8,
+        seed in 0u64..1024,
+    ) {
+        run_bridged_sequence(
+            &ops,
+            PairOptions { min_aggregate, max_pairs_per_job: max_pairs },
+            dirty_fraction,
+            seed,
+        );
     }
 }

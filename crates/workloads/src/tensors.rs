@@ -156,6 +156,21 @@ pub fn pair_candidate(oracle: &Oracle, a: &JobSpec, b: &JobSpec) -> (f64, Vec<Pa
     })
 }
 
+/// Like [`pair_candidate`] but with pair throughputs supplied by
+/// `pair_fn` (see [`build_tensor_with_pairs_by`]) — the unit the
+/// simulator's *bridged* snapshot cache re-derives for each dirty pair
+/// instead of re-running the full O(n²) estimated enumeration. Bitwise
+/// identical to what [`build_tensor_with_pairs_by`] computes for the same
+/// pair and the same `pair_fn` state.
+pub fn pair_candidate_by(
+    oracle: &Oracle,
+    a: &JobSpec,
+    b: &JobSpec,
+    pair_fn: impl Fn(&JobSpec, &JobSpec, GpuKind) -> Option<(f64, f64)>,
+) -> (f64, Vec<PairThroughput>) {
+    pair_row(oracle, a, b, &pair_fn)
+}
+
 /// Builds the pair row and its pruning score: the best-type sum of
 /// colocation-normalized throughputs.
 fn pair_row(
