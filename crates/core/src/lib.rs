@@ -44,5 +44,23 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// Identifier of a submitting entity (a user or organization). Entities
+/// own jobs in the scheduler service's per-entity job books and index
+/// weights in hierarchical policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "entity{}", self.0)
+    }
+}
+
+impl From<usize> for EntityId {
+    fn from(v: usize) -> Self {
+        EntityId(v as u32)
+    }
+}
+
 /// Comparison tolerance used when validating allocations and throughputs.
 pub const EPSILON: f64 = 1e-6;

@@ -1,0 +1,9 @@
+//! Scheduler-as-a-service demo: an online multi-entity session with an
+//! admission cap, queries, a failure injection, and a cancellation,
+//! followed by a bit-exact replay of the recorded submission log.
+//!
+//! Run: `cargo run --release -p gavel-experiments --bin svc_replay`
+
+fn main() {
+    gavel_experiments::figs::svc_replay::run(gavel_experiments::Scale::from_args());
+}

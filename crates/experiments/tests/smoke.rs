@@ -2,9 +2,10 @@
 //! completion at `Scale::Smoke`. Trace-driven figures shrink to tiny
 //! 4-job traces with a single seed; figures with fixed small inputs
 //! (fig01/fig15 tables, the fig11/fig21 18-job timelines) ignore the
-//! scale and run as-is. This keeps the 17 `fig*`/`table*`/`sec7*`
+//! scale and run as-is. This keeps the `fig*`/`table*`/`sec7*`/`svc_*`
 //! binaries from silently rotting — they share the exact `run()` entry
-//! points exercised here.
+//! points exercised here. The `svc_replay` smoke run doubles as a CI
+//! check that submission-log replay stays bit-exact.
 
 use gavel_experiments::{figs, Scale};
 
@@ -34,5 +35,6 @@ smoke!(
     fig20_las_priorities,
     fig21_hier_fifo,
     sec7_cost_policies,
+    svc_replay,
     table3_endtoend,
 );

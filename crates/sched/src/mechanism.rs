@@ -15,11 +15,24 @@ use std::collections::{HashMap, HashSet};
 pub trait ScaleFactors {
     /// Worker count of `job` (1 when unknown).
     fn scale_factor_of(&self, job: JobId) -> u32;
+
+    /// Whether `job` is still live. Defaults to `true`: stale combos
+    /// (members already completed, allocation not yet recomputed) keep
+    /// planning as they historically did. Strict planners
+    /// ([`RoundScheduler::plan_round_cached_strict`]) skip combos with any
+    /// non-live member instead.
+    fn is_live(&self, _job: JobId) -> bool {
+        true
+    }
 }
 
 impl ScaleFactors for HashMap<JobId, u32> {
     fn scale_factor_of(&self, job: JobId) -> u32 {
         *self.get(&job).unwrap_or(&1)
+    }
+
+    fn is_live(&self, job: JobId) -> bool {
+        self.contains_key(&job)
     }
 }
 
@@ -200,6 +213,32 @@ impl RoundScheduler {
         plan
     }
 
+    /// Like [`RoundScheduler::plan_round_cached`], but with strict stale
+    /// handling: combos whose members are not all live (per
+    /// [`ScaleFactors::is_live`]) are skipped outright instead of being
+    /// planned from the stale allocation — their workers go to the next
+    /// candidate, and [`RoundScheduler::record`] never re-registers a
+    /// forgotten combo (see [`RoundScheduler::forget_job`] for the
+    /// historical resurrection behavior this avoids).
+    pub fn plan_round_cached_strict(
+        &mut self,
+        alloc: &Allocation,
+        alloc_gen: u64,
+        scale_factor: &impl ScaleFactors,
+        available: Option<&[usize]>,
+    ) -> RoundPlan {
+        if self.candidates_gen != Some(alloc_gen) {
+            collect_candidates(alloc, &mut self.candidates);
+            self.candidates_gen = Some(alloc_gen);
+        }
+        let mut candidates = std::mem::take(&mut self.candidates);
+        self.score_candidates(alloc, &mut candidates);
+        let plan =
+            self.plan_from_candidates_impl(alloc, &candidates, scale_factor, available, true);
+        self.candidates = candidates;
+        plan
+    }
+
     /// Priorities follow Figure 4: the target allocation divided by the
     /// raw time already received on that type (element-wise `X / f`), with
     /// infinite priority for combos that have a positive target but have
@@ -235,6 +274,17 @@ impl RoundScheduler {
         scale_factor: &impl ScaleFactors,
         available: Option<&[usize]>,
     ) -> RoundPlan {
+        self.plan_from_candidates_impl(alloc, candidates, scale_factor, available, false)
+    }
+
+    fn plan_from_candidates_impl(
+        &self,
+        alloc: &Allocation,
+        candidates: &[Candidate],
+        scale_factor: &impl ScaleFactors,
+        available: Option<&[usize]>,
+        drop_stale: bool,
+    ) -> RoundPlan {
         let combos = alloc.combos().combos();
         let mut placement = match available {
             Some(av) => PlacementState::with_available(&self.cluster, av),
@@ -245,6 +295,9 @@ impl RoundScheduler {
         for c in candidates {
             let combo = combos[c.row];
             if combo.jobs().any(|job| busy_jobs.contains(&job)) {
+                continue;
+            }
+            if drop_stale && combo.jobs().any(|job| !scale_factor.is_live(job)) {
                 continue;
             }
             let sf = combo
@@ -427,6 +480,38 @@ mod tests {
         }
         assert_eq!(ran[0], 5, "alternation expected: {ran:?}");
         assert_eq!(ran[1], 5);
+    }
+
+    #[test]
+    fn strict_plan_skips_stale_combos() {
+        // Job 1 has departed (absent from the scale-factor map → not
+        // live). The lenient planner still schedules its combo from the
+        // stale allocation; the strict planner skips it and leaves the
+        // worker to a live candidate.
+        let alloc = example_allocation();
+        let mut lenient = RoundScheduler::new(cluster());
+        let mut strict = RoundScheduler::new(cluster());
+        let sf = sf1(&[JobId(0), JobId(2)]);
+        let lenient_plan = lenient.plan_round_cached(&alloc, 1, &sf, None);
+        assert!(
+            lenient_plan
+                .assignments
+                .iter()
+                .any(|a| a.combo.jobs().any(|j| j == JobId(1))),
+            "lenient plan keeps the stale combo"
+        );
+        let strict_plan = strict.plan_round_cached_strict(&alloc, 1, &sf, None);
+        assert!(
+            strict_plan
+                .assignments
+                .iter()
+                .all(|a| a.combo.jobs().all(|j| j != JobId(1))),
+            "strict plan drops the stale combo"
+        );
+        assert!(
+            !strict_plan.assignments.is_empty(),
+            "live jobs still planned"
+        );
     }
 
     #[test]

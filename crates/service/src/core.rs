@@ -1,6 +1,11 @@
-//! The event-driven simulation engine.
+//! The command-driven scheduler service core.
 //!
-//! One engine drives both execution models behind [`crate::Simulator`]:
+//! [`SchedulerService`] is the event-driven admit/recompute/advance/
+//! complete engine, detached from any trace: callers feed it
+//! [`Command`]s — submissions (with an optional owning entity), forced
+//! completions, cancellations, clock advances, allocation queries, and
+//! failure/repair injections. Two stepping strategies drive time forward
+//! during [`SchedulerService::advance_to`]:
 //!
 //! - **round stepping** (the paper's §5 mechanism): time advances in
 //!   fixed-length rounds; each step drains due cluster events (worker
@@ -8,24 +13,24 @@
 //!   cadence hit demands it, plans the round through the incremental
 //!   [`RoundScheduler`], and executes it against the oracle;
 //! - **fluid stepping** (Figure 13b's ideal execution): allocations apply
-//!   as continuous rates and time advances to the next event — an
-//!   arrival, a fluid completion, or the simulation cap.
+//!   as continuous rates and time advances to the next event — the
+//!   advance horizon, a fluid completion, or the simulation cap.
 //!
-//! Both strategies share one admit/recompute/advance/complete core: job
-//! admission (with the never-placeable guard), the [`SnapshotCache`]-backed
-//! allocation recompute, completion handling (swap-remove with a
-//! persistent job index), and final outcome assembly. The event queue
-//! carries the asynchronous cluster events (failures and their repairs);
-//! arrivals stay in the arrival-sorted pending queue — itself an event
-//! stream — and round boundaries / fluid horizons are generated by the
-//! stepping strategy.
+//! Accepted commands append to the [`SubmissionLog`]; the service is
+//! deterministic in (config, policy, ordered command stream), so
+//! [`crate::replay`] of the log reproduces the run bit-exactly. Job
+//! ownership is tracked in per-entity books with an optional active-job
+//! admission cap ([`ServiceConfig::max_active_per_entity`]); the
+//! resulting counters surface on [`SimResult::service_stats`].
 
-use crate::config::{RecomputeCadence, SimConfig};
+use crate::command::{Command, Rejection, RejectionTally, SubmissionLog};
+use crate::config::{FailureConfig, RecomputeCadence, SimConfig};
 use crate::estimate::EstimatorBridge;
-use crate::metrics::{JobOutcome, SimResult};
+use crate::metrics::{EntityCounters, JobOutcome, ServiceStats, SimResult};
 use crate::snapshot::{SnapshotCache, BRIDGED_DIRTY_FRACTION};
 use gavel_core::{
-    refs, AccelIdx, Allocation, ComboSet, JobId, Policy, PolicyInput, PolicyJob, ThroughputTensor,
+    refs, AccelIdx, Allocation, ComboSet, EntityId, JobId, Policy, PolicyInput, PolicyJob,
+    ThroughputTensor,
 };
 use gavel_policies::IsolatedSplit;
 use gavel_sched::{RoundPlan, RoundScheduler, ScaleFactors};
@@ -33,9 +38,19 @@ use gavel_workloads::{GpuKind, JobSpec, Oracle, TraceJob};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Instant;
+
+/// Service-level knobs, on top of the simulation [`SimConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Per-entity active-job admission cap: a submit from an entity that
+    /// already has this many active jobs is rejected ([`
+    /// Rejection::EntityCapExceeded`]). `None` (the default) disables the
+    /// cap — the compiled-trace client runs uncapped.
+    pub max_active_per_entity: Option<usize>,
+}
 
 /// A worker's placement signature for one round: the accelerator type and
 /// the concrete (server, slot) set. Shared by every member of an
@@ -118,8 +133,9 @@ impl EventQueue {
     }
 }
 
-/// Scale-factor lookup over the engine's live job table (no per-round
-/// `HashMap` materialization).
+/// Scale-factor lookup over the service's live job table (no per-round
+/// `HashMap` materialization). Liveness doubles as the strict planner's
+/// stale-combo filter.
 struct ActiveScaleFactors<'e> {
     active: &'e [ActiveJob],
     index: &'e HashMap<JobId, usize>,
@@ -131,19 +147,46 @@ impl ScaleFactors for ActiveScaleFactors<'_> {
             .get(&job)
             .map_or(1, |&i| self.active[i].trace.scale_factor)
     }
+
+    fn is_live(&self, job: JobId) -> bool {
+        self.index.contains_key(&job)
+    }
 }
 
-/// The engine proper. Constructed per run; consumed by [`Engine::run`].
-pub(crate) struct Engine<'a> {
-    config: &'a SimConfig,
-    oracle: &'a Oracle,
-    policy: &'a dyn Policy,
+/// Per-entity job book.
+#[derive(Debug, Clone, Copy, Default)]
+struct EntityBook {
+    /// Jobs currently active (admitted, not completed/cancelled).
+    active: usize,
+    counters: EntityCounters,
+}
+
+/// A read-only view of the current allocation, served by
+/// [`SchedulerService::query_allocation`].
+#[derive(Debug, Clone, Default)]
+pub struct AllocationView {
+    /// Service time the view was taken at, seconds.
+    pub seconds: f64,
+    /// `(job, effective steps/sec under the current allocation)` per
+    /// active job, in the service's stable active order. All-zero rates
+    /// when no allocation has been computed yet.
+    pub rates: Vec<(JobId, f64)>,
+}
+
+/// The long-running scheduler service. One instance per session; consumed
+/// by [`SchedulerService::into_result`].
+pub struct SchedulerService<'p> {
+    config: SimConfig,
+    service: ServiceConfig,
+    oracle: Oracle,
+    policy: &'p dyn Policy,
     /// Fluid (ideal) stepping instead of rounds.
     fluid: bool,
-    pending: VecDeque<TraceJob>,
     active: Vec<ActiveJob>,
     /// Job → position in `active`, maintained across swap-removes.
     index: HashMap<JobId, usize>,
+    /// Every id ever submitted (ids are never reused).
+    seen_ids: HashSet<JobId>,
     outcomes: Vec<JobOutcome>,
     cache: SnapshotCache,
     bridge: Option<EstimatorBridge>,
@@ -167,16 +210,19 @@ pub(crate) struct Engine<'a> {
     /// Bumped per recompute; keys the scheduler's candidate buffer.
     alloc_gen: u64,
     current: Option<(ComboSet, ThroughputTensor, Allocation)>,
+    log: SubmissionLog,
+    books: BTreeMap<Option<u32>, EntityBook>,
+    commands_accepted: usize,
+    queries_served: usize,
+    queries_since_recompute: usize,
+    max_queries_between_recomputes: usize,
 }
 
-impl<'a> Engine<'a> {
-    pub(crate) fn new(
-        config: &'a SimConfig,
-        oracle: &'a Oracle,
-        policy: &'a dyn Policy,
-        trace: &[TraceJob],
-    ) -> Self {
+impl<'p> SchedulerService<'p> {
+    /// Creates a service with an empty job table at time zero.
+    pub fn new(config: SimConfig, service: ServiceConfig, policy: &'p dyn Policy) -> Self {
         let fluid = config.ideal_execution;
+        let oracle = Oracle::new();
         // The estimator bridge only participates in round execution (the
         // fluid model has no concrete colocation to observe).
         let bridge = if !fluid
@@ -185,7 +231,7 @@ impl<'a> Engine<'a> {
             && policy.wants_space_sharing()
         {
             Some(EstimatorBridge::new(
-                oracle,
+                &oracle,
                 gavel_estimator::EstimatorConfig::default(),
                 config.seed,
             ))
@@ -214,22 +260,23 @@ impl<'a> Engine<'a> {
             let u: f64 = failure_rng.gen_range(f64::EPSILON..1.0);
             events.push(-u.ln() * fc.mtbf_seconds, ClusterEvent::Failure);
         }
-        Engine {
+        SchedulerService {
+            sched: RoundScheduler::new(config.cluster.clone()),
+            jitter_rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9)),
+            down: vec![0; config.cluster.num_types()],
             config,
+            service,
             oracle,
             policy,
             fluid,
-            pending: sorted_by_arrival(trace),
             active: Vec::new(),
             index: HashMap::new(),
+            seen_ids: HashSet::new(),
             outcomes: Vec::new(),
             cache,
             bridge,
-            sched: RoundScheduler::new(config.cluster.clone()),
             events,
-            jitter_rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9)),
             failure_rng,
-            down: vec![0; config.cluster.num_types()],
             down_total: 0,
             now: 0.0,
             rounds: 0,
@@ -243,56 +290,263 @@ impl<'a> Engine<'a> {
             last_recompute_round: 0,
             alloc_gen: 0,
             current: None,
+            log: SubmissionLog::default(),
+            books: BTreeMap::new(),
+            commands_accepted: 0,
+            queries_served: 0,
+            queries_since_recompute: 0,
+            max_queries_between_recomputes: 0,
         }
     }
 
-    /// Runs the simulation to completion (or the time cap).
-    pub(crate) fn run(mut self) -> SimResult {
-        while self.now < self.config.max_seconds
-            && (!self.pending.is_empty() || !self.active.is_empty())
-        {
-            self.admit_arrivals();
+    /// Applies one command: accepted commands are appended to the
+    /// submission log; rejected commands leave the schedule untouched
+    /// (only rejection tallies move).
+    pub fn apply(&mut self, cmd: &Command) -> Result<(), Rejection> {
+        let result = match cmd {
+            Command::Submit { job } => self.do_submit(job),
+            Command::Complete { job } => self.do_complete(*job),
+            Command::Cancel { job } => self.do_cancel(*job),
+            Command::AdvanceTo { seconds } => {
+                self.do_advance(*seconds);
+                Ok(())
+            }
+            Command::QueryAllocation => {
+                self.do_query();
+                Ok(())
+            }
+            Command::InjectFailure => self.do_inject_failure(),
+            Command::InjectRepair { accel } => self.do_inject_repair(*accel),
+        };
+        match result {
+            Ok(()) => {
+                self.commands_accepted += 1;
+                self.log.push(cmd.clone());
+            }
+            Err(rej) => {
+                let entity = match cmd {
+                    Command::Submit { job } => job.entity.map(|e| e as u32),
+                    _ => None,
+                };
+                self.log.record_rejection(rej, entity);
+            }
+        }
+        result
+    }
+
+    /// Submits a job for admission.
+    pub fn submit(&mut self, job: TraceJob) -> Result<(), Rejection> {
+        self.apply(&Command::Submit { job })
+    }
+
+    /// Forces `job` to complete at the current service time.
+    pub fn complete_job(&mut self, job: JobId) -> Result<(), Rejection> {
+        self.apply(&Command::Complete { job })
+    }
+
+    /// Cancels an active job.
+    pub fn cancel(&mut self, job: JobId) -> Result<(), Rejection> {
+        self.apply(&Command::Cancel { job })
+    }
+
+    /// Advances the service clock to `seconds` (no-op if in the past).
+    pub fn advance_to(&mut self, seconds: f64) {
+        let _ = self.apply(&Command::AdvanceTo { seconds });
+    }
+
+    /// Serves the current allocation view (logged as a query command).
+    pub fn query_allocation(&mut self) -> AllocationView {
+        let _ = self.apply(&Command::QueryAllocation);
+        self.allocation_view()
+    }
+
+    /// Takes a random worker down (a §3 reset event).
+    pub fn inject_failure(&mut self) -> Result<(), Rejection> {
+        self.apply(&Command::InjectFailure)
+    }
+
+    /// Brings a downed worker of accelerator type `accel` back up.
+    pub fn inject_repair(&mut self, accel: usize) -> Result<(), Rejection> {
+        self.apply(&Command::InjectRepair { accel })
+    }
+
+    /// Current service time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of active (admitted, unfinished) jobs.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The submission log recorded so far.
+    pub fn log(&self) -> &SubmissionLog {
+        &self.log
+    }
+
+    /// Seeds rejection tallies from a recorded log (replay only: rejected
+    /// commands are not re-applied, so their counters carry over).
+    pub(crate) fn seed_rejections(&mut self, tally: RejectionTally) {
+        self.log.set_rejections(tally);
+    }
+
+    /// A read-only view of the current allocation (not logged — use
+    /// [`SchedulerService::query_allocation`] for the command path).
+    pub fn allocation_view(&self) -> AllocationView {
+        let rates = match &self.current {
+            Some((_, tensor, alloc)) => self
+                .active
+                .iter()
+                .map(|a| (a.trace.id, alloc.effective_throughput(tensor, a.trace.id)))
+                .collect(),
+            None => self.active.iter().map(|a| (a.trace.id, 0.0)).collect(),
+        };
+        AllocationView {
+            seconds: self.now,
+            rates,
+        }
+    }
+
+    /// Folds the full scheduling state into one value: the clock, cluster
+    /// health, per-job progress/cost bits, and every outcome so far. Two
+    /// services with equal fingerprints took bit-identical trajectories.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = 0u64;
+        h = mix(h, self.now.to_bits());
+        h = mix(h, self.rounds as u64);
+        h = mix(h, self.recomputations as u64);
+        h = mix(h, self.down_total as u64);
+        for &d in &self.down {
+            h = mix(h, d as u64);
+        }
+        for job in &self.active {
+            h = mix(h, job.trace.id.0);
+            h = mix(h, job.steps_done.to_bits());
+            h = mix(h, job.cost.to_bits());
+        }
+        for o in &self.outcomes {
+            h = mix(h, o.id.0);
+            h = mix(h, o.completion.map_or(u64::MAX, f64::to_bits));
+            h = mix(h, o.cost.to_bits());
+        }
+        h
+    }
+
+    fn do_submit(&mut self, job: &TraceJob) -> Result<(), Rejection> {
+        if self.seen_ids.contains(&job.id) {
+            return Err(Rejection::DuplicateJob);
+        }
+        let entity = job.entity.map(|e| e as u32);
+        if let Some(cap) = self.service.max_active_per_entity {
+            let book = self.books.entry(entity).or_default();
+            if book.active >= cap {
+                return Err(Rejection::EntityCapExceeded);
+            }
+        }
+        self.seen_ids.insert(job.id);
+        let book = self.books.entry(entity).or_default();
+        book.counters.submitted += 1;
+        // Replicates the trace loop's semantics around an arrival: if the
+        // cluster is idle, the clock fast-forwards to the arrival
+        // (round-quantized under round stepping) before admission; a job
+        // arriving past the time cap never starts.
+        if self.now >= self.config.max_seconds {
+            self.outcomes.push(unstarted_outcome(job));
+            return Ok(());
+        }
+        if self.active.is_empty() && job.arrival_time > self.now + 1e-9 {
+            let target = if self.fluid {
+                job.arrival_time
+            } else {
+                let round = self.config.round_seconds;
+                let k = (job.arrival_time / round).ceil().max(0.0);
+                (k * round).max(self.now + round)
+            };
+            if self.config.strict_failure_clock {
+                self.drain_events_at_times(target);
+            }
+            self.now = target;
+            if self.now >= self.config.max_seconds {
+                self.outcomes.push(unstarted_outcome(job));
+                return Ok(());
+            }
+        }
+        if !self.placeable(job.scale_factor) {
+            self.never_placeable += 1;
+            self.outcomes.push(unstarted_outcome(job));
+            return Ok(());
+        }
+        self.admit(job.clone());
+        self.books.entry(entity).or_default().active += 1;
+        self.need_recompute = true;
+        Ok(())
+    }
+
+    fn do_complete(&mut self, id: JobId) -> Result<(), Rejection> {
+        if !self.index.contains_key(&id) {
+            return Err(Rejection::UnknownJob);
+        }
+        self.complete(id, self.now);
+        Ok(())
+    }
+
+    fn do_cancel(&mut self, id: JobId) -> Result<(), Rejection> {
+        if !self.index.contains_key(&id) {
+            return Err(Rejection::UnknownJob);
+        }
+        self.remove_active(id, None);
+        Ok(())
+    }
+
+    fn do_advance(&mut self, target: f64) {
+        loop {
+            if self.now >= self.config.max_seconds {
+                break;
+            }
             if self.active.is_empty() {
-                // Fast-forward to the next arrival event (round-quantized
-                // under round stepping).
-                let Some(next) = self.pending.front() else {
-                    break;
-                };
-                self.now = if self.fluid {
-                    next.arrival_time
-                } else {
-                    let round = self.config.round_seconds;
-                    let k = (next.arrival_time / round).ceil().max(0.0);
-                    (k * round).max(self.now + round)
-                };
-                continue;
+                // Idle: the clock only moves again at the next submission
+                // (which fast-forwards) or a later advance while busy.
+                break;
+            }
+            if self.now + 1e-9 >= target {
+                break;
             }
             if self.fluid {
-                self.step_fluid();
+                self.step_fluid(target);
             } else {
                 self.step_round();
             }
         }
-        self.finish()
     }
 
-    /// Shared admission: pops arrivals due at `now`, rejecting jobs no
-    /// accelerator type can ever host.
-    fn admit_arrivals(&mut self) {
-        while self
-            .pending
-            .front()
-            .is_some_and(|j| j.arrival_time <= self.now + 1e-9)
-        {
-            let t = self.pending.pop_front().expect("checked non-empty");
-            if !self.placeable(t.scale_factor) {
-                self.never_placeable += 1;
-                self.outcomes.push(unstarted_outcome(&t));
-                continue;
-            }
-            self.admit(t);
-            self.need_recompute = true;
+    fn do_query(&mut self) {
+        self.queries_served += 1;
+        self.queries_since_recompute += 1;
+    }
+
+    fn do_inject_failure(&mut self) -> Result<(), Rejection> {
+        let Some(fc) = self.config.failures else {
+            return Err(Rejection::NoFailureModel);
+        };
+        if self.fluid {
+            return Err(Rejection::NoFailureModel);
         }
+        self.fail_random_worker(self.now, fc);
+        self.need_recompute = true;
+        Ok(())
+    }
+
+    fn do_inject_repair(&mut self, accel: usize) -> Result<(), Rejection> {
+        if accel >= self.down.len() || self.down[accel] == 0 {
+            return Err(Rejection::NothingToRepair);
+        }
+        // The worker's originally scheduled repair event becomes a no-op
+        // (saturating decrement against an already-healthy type).
+        self.down[accel] -= 1;
+        self.down_total -= 1;
+        self.need_recompute = true;
+        Ok(())
     }
 
     /// Whether a job of this scale factor fits on at least one accelerator
@@ -337,10 +591,10 @@ impl<'a> Engine<'a> {
             arrival_seq: trace.id.0,
             entity: trace.entity,
         };
-        self.cache.admit(self.oracle, spec, pjob);
+        self.cache.admit(&self.oracle, spec, pjob);
         if let Some(b) = self.bridge.as_mut() {
             if self.config.profile_arriving_jobs {
-                b.register(self.oracle, trace.id, trace.config);
+                b.register(&self.oracle, trace.id, trace.config);
             }
         }
         self.index.insert(trace.id, self.active.len());
@@ -357,6 +611,10 @@ impl<'a> Engine<'a> {
     /// Shared completion: swap-removes the job everywhere, emits its
     /// outcome, and marks the reset event.
     fn complete(&mut self, id: JobId, completion: f64) {
+        self.remove_active(id, Some(completion));
+    }
+
+    fn remove_active(&mut self, id: JobId, completion: Option<f64>) {
         let idx = self.index[&id];
         let job = self.active.swap_remove(idx);
         self.cache.remove(idx);
@@ -364,7 +622,17 @@ impl<'a> Engine<'a> {
         if idx < self.active.len() {
             self.index.insert(self.active[idx].trace.id, idx);
         }
-        self.outcomes.push(make_outcome(&job, Some(completion)));
+        let book = self
+            .books
+            .entry(job.trace.entity.map(|e| e as u32))
+            .or_default();
+        book.active = book.active.saturating_sub(1);
+        if completion.is_some() {
+            book.counters.completed += 1;
+        } else {
+            book.counters.cancelled += 1;
+        }
+        self.outcomes.push(make_outcome(&job, completion));
         self.sched.forget_job(id);
         if let Some(b) = self.bridge.as_mut() {
             b.forget(id);
@@ -377,11 +645,11 @@ impl<'a> Engine<'a> {
     /// generation.
     fn recompute(&mut self) {
         let t0 = Instant::now();
-        let cfg = self.config;
+        let cfg = &self.config;
         let (combos, tensor) = match &self.bridge {
             // Bridged runs re-derive only the pair rows whose members'
             // estimates drifted since the last recompute.
-            Some(b) => self.cache.snapshot_bridged(self.oracle, b),
+            Some(b) => self.cache.snapshot_bridged(&self.oracle, b),
             None => self.cache.snapshot(),
         };
         let now = self.now;
@@ -412,50 +680,75 @@ impl<'a> Engine<'a> {
         self.current = Some((combos, tensor, alloc));
         self.need_recompute = false;
         self.alloc_gen += 1;
+        self.max_queries_between_recomputes = self
+            .max_queries_between_recomputes
+            .max(self.queries_since_recompute);
+        self.queries_since_recompute = 0;
+    }
+
+    /// Fails one random worker (weighted by type populations) at `at`,
+    /// scheduling its repair `downtime_seconds` later.
+    fn fail_random_worker(&mut self, at: f64, fc: FailureConfig) {
+        let cluster = &self.config.cluster;
+        let total = cluster.total_workers();
+        let mut pick = self.failure_rng.gen_range(0..total);
+        let mut failed_type = 0;
+        for j in cluster.types() {
+            let w = cluster.num_workers(j);
+            if pick < w {
+                failed_type = j.0;
+                break;
+            }
+            pick -= w;
+        }
+        self.down[failed_type] += 1;
+        self.down_total += 1;
+        self.events
+            .push(at + fc.downtime_seconds, ClusterEvent::Repair(failed_type));
+    }
+
+    /// Drains every cluster event due at or before `now`, processing each
+    /// at `process_at(event_time)` — `now` for the historical
+    /// batch-at-round-boundary semantics, the event's own time under the
+    /// strict failure clock.
+    fn drain_due_events(&mut self, fc: FailureConfig, horizon: f64, at_event_times: bool) {
+        while let Some(ev) = self.events.pop_due(horizon) {
+            let at = if at_event_times { ev.time } else { horizon };
+            match ev.event {
+                ClusterEvent::Failure => {
+                    self.fail_random_worker(at, fc);
+                    let u: f64 = self.failure_rng.gen_range(f64::EPSILON..1.0);
+                    self.events
+                        .push(ev.time - u.ln() * fc.mtbf_seconds, ClusterEvent::Failure);
+                }
+                ClusterEvent::Repair(j) => {
+                    self.down[j] = self.down[j].saturating_sub(1);
+                    self.down_total = self.down_total.saturating_sub(1);
+                }
+            }
+            self.need_recompute = true;
+        }
+    }
+
+    /// Strict-failure-clock idle fast-forward: process events due before
+    /// `target` at their scheduled times (repairs land on time even while
+    /// the cluster is idle).
+    fn drain_events_at_times(&mut self, target: f64) {
+        if let Some(fc) = self.config.failures {
+            self.drain_due_events(fc, target, true);
+        }
     }
 
     /// One round of the §5 mechanism.
     fn step_round(&mut self) {
-        let cfg = self.config;
-        let round = cfg.round_seconds;
+        let round = self.config.round_seconds;
 
         // Drain due cluster events — failures and repairs are reset
         // events (§3).
-        if let Some(fc) = cfg.failures {
-            while let Some(ev) = self.events.pop_due(self.now) {
-                match ev.event {
-                    ClusterEvent::Failure => {
-                        // Fail a random worker, weighted by type
-                        // populations.
-                        let total = cfg.cluster.total_workers();
-                        let mut pick = self.failure_rng.gen_range(0..total);
-                        let mut failed_type = 0;
-                        for j in cfg.cluster.types() {
-                            let w = cfg.cluster.num_workers(j);
-                            if pick < w {
-                                failed_type = j.0;
-                                break;
-                            }
-                            pick -= w;
-                        }
-                        self.down[failed_type] += 1;
-                        self.down_total += 1;
-                        self.events.push(
-                            self.now + fc.downtime_seconds,
-                            ClusterEvent::Repair(failed_type),
-                        );
-                        let u: f64 = self.failure_rng.gen_range(f64::EPSILON..1.0);
-                        self.events
-                            .push(ev.time - u.ln() * fc.mtbf_seconds, ClusterEvent::Failure);
-                    }
-                    ClusterEvent::Repair(j) => {
-                        self.down[j] = self.down[j].saturating_sub(1);
-                        self.down_total = self.down_total.saturating_sub(1);
-                    }
-                }
-                self.need_recompute = true;
-            }
+        if let Some(fc) = self.config.failures {
+            self.drain_due_events(fc, self.now, false);
         }
+        let cfg = &self.config;
         let available: Option<Vec<usize>> = if self.down_total == 0 {
             None
         } else {
@@ -489,9 +782,13 @@ impl<'a> Engine<'a> {
             active: &self.active,
             index: &self.index,
         };
-        let plan = self
-            .sched
-            .plan_round_cached(alloc, self.alloc_gen, &sf, available.as_deref());
+        let plan = if self.config.strict_recompute {
+            self.sched
+                .plan_round_cached_strict(alloc, self.alloc_gen, &sf, available.as_deref())
+        } else {
+            self.sched
+                .plan_round_cached(alloc, self.alloc_gen, &sf, available.as_deref())
+        };
         if let Some(av) = &available {
             debug_assert!(
                 plan_fits_capacity(&plan, av),
@@ -511,7 +808,7 @@ impl<'a> Engine<'a> {
     /// Executes one round of `plan` against the oracle. Returns
     /// completions as `(job, time)`.
     fn execute_round(&mut self, plan: &RoundPlan) -> Vec<(JobId, f64)> {
-        let cfg = self.config;
+        let cfg = &self.config;
         let round = cfg.round_seconds;
         let mut completions = Vec::new();
 
@@ -543,7 +840,7 @@ impl<'a> Engine<'a> {
                 let (aid, acfg) = (a.trace.id, a.trace.config);
                 let (bid, bcfg) = (b.trace.id, b.trace.config);
                 if let Some(b2) = self.bridge.as_mut() {
-                    b2.observe(self.oracle, (aid, acfg), (bid, bcfg), gpu);
+                    b2.observe(&self.oracle, (aid, acfg), (bid, bcfg), gpu);
                 }
             } else {
                 let a = &self.active[self.index[&members[0]]];
@@ -625,10 +922,10 @@ impl<'a> Engine<'a> {
     }
 
     /// One fluid step: apply the allocation as continuous rates until the
-    /// next event (arrival, completion, or cap).
-    fn step_fluid(&mut self) {
-        let cfg = self.config;
+    /// next event (the advance horizon, a completion, or the cap).
+    fn step_fluid(&mut self, horizon: f64) {
         self.recompute();
+        let cfg = &self.config;
         let (_, tensor, alloc) = self.current.as_ref().expect("allocation computed");
 
         // Per-job fluid rates.
@@ -638,11 +935,9 @@ impl<'a> Engine<'a> {
             .map(|a| alloc.effective_throughput(tensor, a.trace.id))
             .collect();
 
-        // Next event horizon: completion, arrival, or the cap.
+        // Next event horizon: completion, the advance target, or the cap.
         let mut dt = cfg.max_seconds - self.now;
-        if let Some(next) = self.pending.front() {
-            dt = dt.min(next.arrival_time - self.now);
-        }
+        dt = dt.min(horizon - self.now);
         for (a, &r) in self.active.iter().zip(&rates) {
             if r > 1e-12 {
                 let remaining = (a.trace.total_steps - a.steps_done).max(0.0);
@@ -706,14 +1001,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Shared outcome assembly.
-    fn finish(mut self) -> SimResult {
-        // Unfinished jobs at the cap, then arrivals that never started.
+    /// Finalizes the run: unfinished jobs become capped outcomes and the
+    /// aggregate [`SimResult`] is assembled.
+    pub fn into_result(mut self) -> SimResult {
+        // Unfinished jobs at the cap.
         for job in &self.active {
             self.outcomes.push(make_outcome(job, None));
-        }
-        for t in &self.pending {
-            self.outcomes.push(unstarted_outcome(t));
         }
         self.outcomes.sort_by(|a, b| {
             a.arrival
@@ -734,9 +1027,11 @@ impl<'a> Engine<'a> {
                 .fold(0.0f64, f64::max)
         };
 
+        let service_stats = self.assemble_service_stats();
         let denom = self.config.cluster.total_workers() as f64 * self.now.max(1e-9);
         SimResult {
             snapshot_stats: self.cache.stats(),
+            service_stats,
             jobs: self.outcomes,
             makespan,
             total_cost: self.total_cost,
@@ -748,6 +1043,38 @@ impl<'a> Engine<'a> {
             never_placeable: self.never_placeable,
         }
     }
+
+    fn assemble_service_stats(&self) -> ServiceStats {
+        let rejections = self.log.rejections();
+        // Per-entity counters merge the books (accepted-path counters)
+        // with the cap-rejection tallies kept on the log, covering
+        // entities that only ever got rejected.
+        let mut per_entity: BTreeMap<Option<u32>, EntityCounters> = self
+            .books
+            .iter()
+            .map(|(&e, book)| (e, book.counters))
+            .collect();
+        for (&entity, &n) in &rejections.per_entity_cap {
+            per_entity.entry(entity).or_default().cap_rejected = n;
+        }
+        ServiceStats {
+            commands_accepted: self.commands_accepted,
+            commands_rejected: rejections.commands,
+            admission_cap_rejections: rejections.admission_cap,
+            queries_served: self.queries_served,
+            max_queries_between_recomputes: self
+                .max_queries_between_recomputes
+                .max(self.queries_since_recompute),
+            per_entity: per_entity
+                .into_iter()
+                .map(|(e, c)| (e.map(EntityId), c))
+                .collect(),
+        }
+    }
+}
+
+fn mix(acc: u64, x: u64) -> u64 {
+    (acc.rotate_left(13) ^ x).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// Whether `plan` respects the reduced per-type capacity `available`.
@@ -759,8 +1086,8 @@ fn plan_fits_capacity(plan: &RoundPlan, available: &[usize]) -> bool {
     used.iter().zip(available).all(|(u, a)| u <= a)
 }
 
-/// Outcome for a job that never started (unplaceable, or still pending at
-/// the simulation cap).
+/// Outcome for a job that never started (unplaceable, cancelled before
+/// admission, or submitted past the simulation cap).
 fn unstarted_outcome(t: &TraceJob) -> JobOutcome {
     JobOutcome {
         id: t.id,
@@ -775,17 +1102,6 @@ fn unstarted_outcome(t: &TraceJob) -> JobOutcome {
         slo_deadline: t.slo_deadline(),
         cost: 0.0,
     }
-}
-
-fn sorted_by_arrival(trace: &[TraceJob]) -> VecDeque<TraceJob> {
-    let mut v: Vec<TraceJob> = trace.to_vec();
-    v.sort_by(|a, b| {
-        a.arrival_time
-            .partial_cmp(&b.arrival_time)
-            .unwrap()
-            .then(a.id.cmp(&b.id))
-    });
-    v.into()
 }
 
 fn make_outcome(job: &ActiveJob, completion: Option<f64>) -> JobOutcome {

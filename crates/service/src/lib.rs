@@ -1,0 +1,66 @@
+//! The scheduler-as-a-service core.
+//!
+//! Gavel's real deployment is a long-running scheduler fielding online
+//! job submissions, not a batch trace replayer. This crate extracts the
+//! simulator's admit/recompute/advance/complete engine behind a service
+//! boundary: [`SchedulerService`] holds the scheduling state (job table,
+//! [`SnapshotCache`], [`EstimatorBridge`], round scheduler, failure
+//! clock) and is driven entirely by an externally-fed [`Command`] stream:
+//!
+//! - [`Command::Submit`] — admit a job, owned by an optional *entity*
+//!   (user/org). Per-entity job books track active counts;
+//!   [`ServiceConfig::max_active_per_entity`] turns them into an
+//!   admission cap.
+//! - [`Command::Complete`] / [`Command::Cancel`] — force a job out of the
+//!   schedule at the current time (with/without counting as completed).
+//! - [`Command::AdvanceTo`] — move the clock forward, executing §5 rounds
+//!   (or Figure 13b fluid steps) while jobs are active.
+//! - [`Command::QueryAllocation`] — read the per-job effective
+//!   throughputs of the current allocation, without forcing a recompute
+//!   (staleness is observable via
+//!   [`ServiceStats::max_queries_between_recomputes`]).
+//! - [`Command::InjectFailure`] / [`Command::InjectRepair`] — drive the
+//!   cluster-health reset events (§3) from outside, on top of the
+//!   configured Poisson failure process.
+//!
+//! # The submission log and deterministic replay
+//!
+//! Every *accepted* command appends to a [`SubmissionLog`]. The service
+//! is deterministic in (config, policy, ordered command stream) — all
+//! randomness is seeded, and no decision reads wall-clock time — so
+//! [`replay`] of a recorded log reproduces the original run bit-exactly:
+//! identical [`SchedulerService::state_fingerprint`], identical
+//! [`SimResult`] down to the float bits. Rejected commands never enter
+//! the log; their tallies ride in the log header so replayed results
+//! report the same [`ServiceStats`]. The log serializes to a text form
+//! with `f64`s as IEEE-754 bit patterns ([`SubmissionLog::serialize`] /
+//! [`SubmissionLog::parse`]), so persistence round trips are exact.
+//!
+//! # Relation to `gavel-sim`
+//!
+//! The trace simulator is now a thin client of this crate: it compiles a
+//! trace into `[AdvanceTo(arrival), Submit(job)]*` plus a final drain,
+//! and feeds the stream to a `SchedulerService`. Trace-driven semantics
+//! (idle fast-forward between arrivals, round quantization, the
+//! simulation cap) live in the service's submit/advance handling, so a
+//! compiled trace is bit-identical to the historical monolithic engine —
+//! the pinned fixed-seed regressions in `gavel-sim` prove it. Two
+//! replay-only legacy behaviors are preserved under default flags and
+//! can be tightened via [`SimConfig::strict_recompute`] (no stale-combo
+//! resurrection under throttled recomputes) and
+//! [`SimConfig::strict_failure_clock`] (failure/repair events process at
+//! their scheduled times during idle fast-forwards).
+
+pub mod command;
+pub mod config;
+pub mod core;
+pub mod estimate;
+pub mod metrics;
+pub mod snapshot;
+
+pub use command::{replay, Command, LogParseError, Rejection, RejectionTally, SubmissionLog};
+pub use config::{FailureConfig, RecomputeCadence, SimConfig};
+pub use core::{AllocationView, SchedulerService, ServiceConfig};
+pub use estimate::EstimatorBridge;
+pub use metrics::{EntityCounters, JobOutcome, ServiceStats, SimResult};
+pub use snapshot::{SnapshotCache, SnapshotStats, BRIDGED_DIRTY_FRACTION};

@@ -1,8 +1,42 @@
 //! Simulation outcomes and the metrics the paper reports.
 
 use crate::snapshot::SnapshotStats;
-use gavel_core::JobId;
+use gavel_core::{EntityId, JobId};
 use gavel_workloads::JobConfig;
+
+/// Per-entity command and admission counters kept by the service's job
+/// books (entity `None` groups jobs submitted without an entity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EntityCounters {
+    /// Submit commands accepted (admitted, or logged as unstarted).
+    pub submitted: usize,
+    /// Submit commands bounced by the per-entity admission cap.
+    pub cap_rejected: usize,
+    /// Jobs that ran to completion (forced completes included).
+    pub completed: usize,
+    /// Jobs cancelled while active.
+    pub cancelled: usize,
+}
+
+/// Aggregate service-command counters for one run. All zeros for runs
+/// that never cross the service boundary's rejection or query paths
+/// (e.g. a compiled trace with no admission cap).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Commands accepted (and appended to the submission log).
+    pub commands_accepted: usize,
+    /// Commands rejected (never logged).
+    pub commands_rejected: usize,
+    /// Rejections specifically due to the per-entity admission cap.
+    pub admission_cap_rejections: usize,
+    /// Allocation queries served.
+    pub queries_served: usize,
+    /// Most queries served between two consecutive recomputes — how stale
+    /// a served allocation view can get.
+    pub max_queries_between_recomputes: usize,
+    /// Counters per entity, `None` first then ascending by id.
+    pub per_entity: Vec<(Option<EntityId>, EntityCounters)>,
+}
 
 /// Per-job outcome of a simulation.
 #[derive(Debug, Clone)]
@@ -92,6 +126,9 @@ pub struct SimResult {
     /// snapshots, bridged partial/full re-derivations, and row/pair-eval
     /// volumes — the observability hooks the perf gates assert on.
     pub snapshot_stats: SnapshotStats,
+    /// Service-command counters: per-entity books, admission-cap
+    /// rejections, and query staleness.
+    pub service_stats: ServiceStats,
 }
 
 impl SimResult {
@@ -253,6 +290,7 @@ mod tests {
             policy_failures: 0,
             never_placeable: 0,
             snapshot_stats: SnapshotStats::default(),
+            service_stats: ServiceStats::default(),
         };
         // All 10 jobs: mean of 1..=10 hours = 5.5.
         assert!((r.avg_jct_hours() - 5.5).abs() < 1e-9);

@@ -1,0 +1,348 @@
+//! Service-level tests: admission caps and per-entity books, command
+//! rejection paths, query counters, failure/repair injection, the
+//! submission-log text round trip, replay of an interactive session, and
+//! divergence demonstrations for the two strict-semantics flags.
+
+use gavel_core::{JobId, Policy};
+use gavel_policies::MaxMinFairness;
+use gavel_service::{
+    replay, Rejection, SchedulerService, ServiceConfig, SimConfig, SimResult, SubmissionLog,
+};
+use gavel_service::{EntityCounters, RecomputeCadence};
+use gavel_workloads::{
+    cluster_twelve, generate, JobConfig, ModelFamily, Oracle, TraceConfig, TraceJob,
+};
+
+fn small_cluster() -> gavel_core::ClusterSpec {
+    gavel_core::ClusterSpec::new(&[
+        ("v100", 2, 2, 2.48),
+        ("p100", 2, 2, 1.46),
+        ("k80", 2, 2, 0.45),
+    ])
+}
+
+/// A single-worker ResNet-50 job owned by `entity`.
+fn mk_job(id: u64, arrival: f64, steps: f64, entity: Option<usize>) -> TraceJob {
+    TraceJob {
+        id: JobId(id),
+        config: JobConfig::new(ModelFamily::ResNet50, 32),
+        arrival_time: arrival,
+        scale_factor: 1,
+        total_steps: steps,
+        duration_seconds: 3600.0,
+        weight: 1.0,
+        slo_factor: None,
+        entity,
+    }
+}
+
+fn mix(acc: u64, x: u64) -> u64 {
+    (acc.rotate_left(13) ^ x).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Bit-exact fold over everything a [`SimResult`] reports.
+fn result_fingerprint(r: &SimResult) -> u64 {
+    let mut h = 0u64;
+    h = mix(h, r.makespan.to_bits());
+    h = mix(h, r.total_cost.to_bits());
+    h = mix(h, r.utilization.to_bits());
+    h = mix(h, r.rounds as u64);
+    h = mix(h, r.recomputations as u64);
+    for j in &r.jobs {
+        h = mix(h, j.id.0);
+        h = mix(h, j.completion.unwrap_or(-1.0).to_bits());
+        h = mix(h, j.cost.to_bits());
+    }
+    h
+}
+
+/// Drives a trace through the service exactly like the `gavel-sim` client:
+/// jobs in arrival order as advance+submit pairs, then a drain advance.
+fn run_trace(policy: &dyn Policy, trace: &[TraceJob], cfg: &SimConfig) -> SimResult {
+    let mut jobs = trace.to_vec();
+    jobs.sort_by(|a, b| {
+        a.arrival_time
+            .partial_cmp(&b.arrival_time)
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
+    let mut svc = SchedulerService::new(cfg.clone(), ServiceConfig::default(), policy);
+    for job in jobs {
+        svc.advance_to(job.arrival_time);
+        svc.submit(job).unwrap();
+    }
+    svc.advance_to(cfg.max_seconds);
+    svc.into_result()
+}
+
+fn counters_for(r: &SimResult, entity: Option<u32>) -> EntityCounters {
+    r.service_stats
+        .per_entity
+        .iter()
+        .find(|(e, _)| e.map(|id| id.0) == entity)
+        .map(|(_, c)| *c)
+        .unwrap_or_default()
+}
+
+#[test]
+fn entity_cap_rejects_then_frees_on_completion() {
+    let policy = MaxMinFairness::new();
+    let cfg = SimConfig::new(small_cluster());
+    let service = ServiceConfig {
+        max_active_per_entity: Some(1),
+    };
+    let mut svc = SchedulerService::new(cfg, service, &policy);
+
+    svc.submit(mk_job(0, 0.0, 1e7, Some(0))).unwrap();
+    // Entity 0 is at its cap; the submit bounces and the id stays unused.
+    assert_eq!(
+        svc.submit(mk_job(1, 0.0, 1e7, Some(0))),
+        Err(Rejection::EntityCapExceeded)
+    );
+    // Other entities are unaffected.
+    svc.submit(mk_job(2, 0.0, 1e7, Some(1))).unwrap();
+    // Completing entity 0's job frees a slot; the bounced id resubmits.
+    svc.complete_job(JobId(0)).unwrap();
+    svc.submit(mk_job(1, 0.0, 1e7, Some(0))).unwrap();
+
+    let r = svc.into_result();
+    assert_eq!(r.service_stats.commands_accepted, 4);
+    assert_eq!(r.service_stats.commands_rejected, 1);
+    assert_eq!(r.service_stats.admission_cap_rejections, 1);
+    let e0 = counters_for(&r, Some(0));
+    assert_eq!(e0.submitted, 2);
+    assert_eq!(e0.cap_rejected, 1);
+    assert_eq!(e0.completed, 1);
+    assert_eq!(e0.cancelled, 0);
+    let e1 = counters_for(&r, Some(1));
+    assert_eq!(e1.submitted, 1);
+    assert_eq!(e1.cap_rejected, 0);
+}
+
+#[test]
+fn duplicate_and_unknown_job_commands_are_rejected() {
+    let policy = MaxMinFairness::new();
+    let cfg = SimConfig::new(small_cluster());
+    let mut svc = SchedulerService::new(cfg, ServiceConfig::default(), &policy);
+
+    svc.submit(mk_job(7, 0.0, 1e7, None)).unwrap();
+    assert_eq!(
+        svc.submit(mk_job(7, 0.0, 1e7, None)),
+        Err(Rejection::DuplicateJob)
+    );
+    assert_eq!(svc.complete_job(JobId(99)), Err(Rejection::UnknownJob));
+    assert_eq!(svc.cancel(JobId(99)), Err(Rejection::UnknownJob));
+
+    // Cancel is terminal: the outcome reports no completion, and the job
+    // can be neither completed nor cancelled again.
+    svc.cancel(JobId(7)).unwrap();
+    assert_eq!(svc.complete_job(JobId(7)), Err(Rejection::UnknownJob));
+    assert_eq!(svc.cancel(JobId(7)), Err(Rejection::UnknownJob));
+    // The id stays burned — ids are never reused.
+    assert_eq!(
+        svc.submit(mk_job(7, 0.0, 1e7, None)),
+        Err(Rejection::DuplicateJob)
+    );
+
+    let r = svc.into_result();
+    assert_eq!(r.jobs.len(), 1);
+    assert_eq!(r.jobs[0].completion, None);
+    let none = counters_for(&r, None);
+    assert_eq!(none.submitted, 1);
+    assert_eq!(none.cancelled, 1);
+    assert_eq!(r.service_stats.commands_rejected, 6);
+    assert_eq!(r.service_stats.admission_cap_rejections, 0);
+}
+
+#[test]
+fn query_counters_track_recompute_gaps() {
+    let policy = MaxMinFairness::new();
+    let cfg = SimConfig::new(small_cluster());
+    let round = cfg.round_seconds;
+    let mut svc = SchedulerService::new(cfg, ServiceConfig::default(), &policy);
+
+    // Before any allocation exists, queries serve all-zero rates.
+    svc.submit(mk_job(0, 0.0, 1e8, Some(2))).unwrap();
+    for _ in 0..3 {
+        let view = svc.query_allocation();
+        assert_eq!(view.rates, vec![(JobId(0), 0.0)]);
+    }
+    // The first round recomputes, closing a 3-query gap.
+    svc.advance_to(round);
+    let view = svc.query_allocation();
+    assert_eq!(view.seconds, round);
+    assert_eq!(view.rates.len(), 1);
+    assert!(view.rates[0].1 > 0.0, "allocated job should have a rate");
+    svc.query_allocation();
+
+    let r = svc.into_result();
+    assert_eq!(r.service_stats.queries_served, 5);
+    assert_eq!(r.service_stats.max_queries_between_recomputes, 3);
+}
+
+#[test]
+fn failure_and_repair_injection_paths() {
+    let policy = MaxMinFairness::new();
+
+    // No failure model configured: injection is refused.
+    let cfg = SimConfig::new(small_cluster());
+    let mut svc = SchedulerService::new(cfg, ServiceConfig::default(), &policy);
+    assert_eq!(svc.inject_failure(), Err(Rejection::NoFailureModel));
+
+    // With a (quiescent) failure model: one injected failure downs exactly
+    // one worker, repairable exactly once.
+    let cfg = SimConfig::new(small_cluster()).with_failures(1e15, 3600.0);
+    let num_types = cfg.cluster.num_types();
+    let mut svc = SchedulerService::new(cfg, ServiceConfig::default(), &policy);
+    svc.inject_failure().unwrap();
+    let repaired: Vec<usize> = (0..num_types)
+        .filter(|&j| svc.inject_repair(j).is_ok())
+        .collect();
+    assert_eq!(repaired.len(), 1, "exactly one type has a downed worker");
+    // Everything is healthy again; repairs have nothing to do.
+    for j in 0..num_types {
+        assert_eq!(svc.inject_repair(j), Err(Rejection::NothingToRepair));
+    }
+    assert_eq!(
+        svc.inject_repair(num_types + 5),
+        Err(Rejection::NothingToRepair)
+    );
+}
+
+/// One interactive session exercising every command verb, used by the
+/// round-trip and replay tests below.
+fn interactive_session<'p>(policy: &'p dyn Policy, cfg: &SimConfig) -> SchedulerService<'p> {
+    let service = ServiceConfig {
+        max_active_per_entity: Some(2),
+    };
+    let round = cfg.round_seconds;
+    let mut svc = SchedulerService::new(cfg.clone(), service, policy);
+    svc.submit(mk_job(0, 0.0, 5e6, Some(0))).unwrap();
+    svc.submit(mk_job(1, 0.0, 5e6, Some(0))).unwrap();
+    // Bounces on the cap (tallied, not logged).
+    let _ = svc.submit(mk_job(2, 0.0, 5e6, Some(0)));
+    let mut slo = mk_job(3, 300.0, 5e6, None);
+    slo.slo_factor = Some(4.0);
+    svc.submit(slo).unwrap();
+    svc.advance_to(3.0 * round);
+    svc.query_allocation();
+    svc.inject_failure().unwrap();
+    svc.advance_to(6.0 * round);
+    svc.cancel(JobId(1)).unwrap();
+    svc.complete_job(JobId(0)).unwrap();
+    svc.query_allocation();
+    svc.advance_to(40.0 * round);
+    svc
+}
+
+#[test]
+fn log_text_round_trips_exactly() {
+    let policy = MaxMinFairness::new();
+    let cfg = SimConfig::new(small_cluster()).with_failures(1e15, 3600.0);
+    let svc = interactive_session(&policy, &cfg);
+    let text = svc.log().serialize();
+    let parsed = SubmissionLog::parse(&text).expect("serialized log parses");
+    assert_eq!(parsed.len(), svc.log().len());
+    assert_eq!(parsed.rejections(), svc.log().rejections());
+    // Parse→serialize is the identity on the text form.
+    assert_eq!(parsed.serialize(), text);
+}
+
+#[test]
+fn replay_reproduces_interactive_session() {
+    let policy = MaxMinFairness::new();
+    let cfg = SimConfig::new(small_cluster()).with_failures(1e15, 3600.0);
+    let svc = interactive_session(&policy, &cfg);
+    let log = SubmissionLog::parse(&svc.log().serialize()).unwrap();
+
+    // State fingerprints match after applying the same command stream.
+    let mut twin = SchedulerService::new(
+        cfg.clone(),
+        ServiceConfig {
+            max_active_per_entity: Some(2),
+        },
+        &policy,
+    );
+    for cmd in log.commands() {
+        twin.apply(cmd).expect("logged commands replay cleanly");
+    }
+    assert_eq!(svc.state_fingerprint(), twin.state_fingerprint());
+
+    // And the full result — rejection tallies included — round-trips.
+    let live = svc.into_result();
+    let replayed = replay(
+        &policy,
+        &cfg,
+        &ServiceConfig {
+            max_active_per_entity: Some(2),
+        },
+        &log,
+    );
+    assert_eq!(result_fingerprint(&live), result_fingerprint(&replayed));
+    assert_eq!(live.service_stats, replayed.service_stats);
+    assert_eq!(live.snapshot_stats, replayed.snapshot_stats);
+}
+
+#[test]
+fn parse_rejects_malformed_logs() {
+    assert!(SubmissionLog::parse("").is_err());
+    assert!(SubmissionLog::parse("not-a-log v9\n").is_err());
+    let header = "gavel-submission-log v1\n";
+    assert!(SubmissionLog::parse(&format!("{header}frobnicate x=1\n")).is_err());
+    assert!(SubmissionLog::parse(&format!("{header}advance t=12.5\n")).is_err());
+    assert!(SubmissionLog::parse(&format!("{header}complete\n")).is_err());
+    assert!(SubmissionLog::parse(&format!(
+        "{header}submit id=0 family=NotAModel batch=32 arrival=0x0 scale=1 steps=0x0 \
+         duration=0x0 weight=0x0 slo=- entity=-\n"
+    ))
+    .is_err());
+}
+
+/// `strict_recompute` changes results under throttled recomputation: the
+/// default planner lets a stale allocation resurrect completed jobs'
+/// combos from timeshare history; the strict planner skips them.
+#[test]
+fn strict_recompute_diverges_under_throttled_resets() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(2.0, 25, 37), &oracle);
+    let mut cfg = SimConfig::new(small_cluster());
+    cfg.recompute = RecomputeCadence::ThrottledResets(3);
+    let legacy = run_trace(&MaxMinFairness::new(), &trace, &cfg);
+    cfg.strict_recompute = true;
+    let strict = run_trace(&MaxMinFairness::new(), &trace, &cfg);
+    assert_ne!(
+        result_fingerprint(&legacy),
+        result_fingerprint(&strict),
+        "strict recompute should change a throttled-cadence run"
+    );
+    // Sanity: with an unthrottled reset cadence there is no stale window,
+    // so the flag is a no-op.
+    let mut cfg = SimConfig::new(small_cluster());
+    let legacy = run_trace(&MaxMinFairness::new(), &trace, &cfg);
+    cfg.strict_recompute = true;
+    let strict = run_trace(&MaxMinFairness::new(), &trace, &cfg);
+    assert_eq!(result_fingerprint(&legacy), result_fingerprint(&strict));
+}
+
+/// `strict_failure_clock` changes results when failure events fall into an
+/// idle gap: by default every event due in the gap batches at the next
+/// busy round (repairs land late, failures pile up); strictly, events
+/// process at their scheduled times while the clock skips ahead.
+#[test]
+fn strict_failure_clock_diverges_across_idle_gap() {
+    let policy = MaxMinFairness::new();
+    // Job 0 finishes quickly; job 1 arrives ten idle hours later. With a
+    // 30-minute MTBF the gap holds ~20 failures whose repairs (1 h
+    // downtime) mostly both fire inside the gap.
+    let trace = vec![mk_job(0, 0.0, 100.0, None), mk_job(1, 36_000.0, 1e8, None)];
+    let mut cfg = SimConfig::new(cluster_twelve()).with_failures(1800.0, 3600.0);
+    cfg.max_seconds = 72_000.0;
+    let legacy = run_trace(&policy, &trace, &cfg);
+    cfg.strict_failure_clock = true;
+    let strict = run_trace(&policy, &trace, &cfg);
+    assert_ne!(
+        result_fingerprint(&legacy),
+        result_fingerprint(&strict),
+        "strict failure clock should change a run with an idle gap"
+    );
+}

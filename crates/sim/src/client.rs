@@ -1,0 +1,85 @@
+//! The trace-driven client of the scheduler service.
+//!
+//! [`Simulator`] is a thin facade: [`Simulator::run`] compiles a trace
+//! into a service command stream ([`compile_trace`]) and feeds it to a
+//! fresh [`SchedulerService`]. All scheduling semantics live in
+//! `gavel-service`; this module only owns the trace → command mapping.
+
+use gavel_core::Policy;
+use gavel_service::{
+    Command, SchedulerService, ServiceConfig, SimConfig, SimResult, SubmissionLog,
+};
+use gavel_workloads::{Oracle, TraceJob};
+
+/// Simulates a policy over a trace (see the crate docs for the knobs).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    oracle: Oracle,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator {
+            config,
+            oracle: Oracle::new(),
+        }
+    }
+
+    /// The oracle used for execution (and, unless estimating, planning).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Runs `policy` over `trace`, returning per-job outcomes and
+    /// aggregates.
+    ///
+    /// Round stepping realizes the §5 mechanism; with
+    /// [`SimConfig::ideal_execution`] the same service core steps fluidly
+    /// (Figure 13b) instead.
+    pub fn run(&self, policy: &dyn Policy, trace: &[TraceJob]) -> SimResult {
+        self.run_logged(policy, trace).0
+    }
+
+    /// Like [`Simulator::run`], but also returns the service's submission
+    /// log — `gavel_service::replay` of that log (same config, same
+    /// policy) reproduces the returned result bit-exactly.
+    pub fn run_logged(
+        &self,
+        policy: &dyn Policy,
+        trace: &[TraceJob],
+    ) -> (SimResult, SubmissionLog) {
+        let mut svc = SchedulerService::new(self.config.clone(), ServiceConfig::default(), policy);
+        for cmd in compile_trace(trace, &self.config) {
+            let accepted = svc.apply(&cmd).is_ok();
+            debug_assert!(accepted, "compiled trace command rejected: {cmd:?}");
+        }
+        let log = svc.log().clone();
+        (svc.into_result(), log)
+    }
+}
+
+/// Compiles a trace into the equivalent service command stream: jobs in
+/// (arrival, id) order as `[AdvanceTo(arrival), Submit(job)]` pairs, then
+/// a final `AdvanceTo(max_seconds)` that drains the schedule.
+pub fn compile_trace(trace: &[TraceJob], config: &SimConfig) -> Vec<Command> {
+    let mut sorted: Vec<TraceJob> = trace.to_vec();
+    sorted.sort_by(|a, b| {
+        a.arrival_time
+            .partial_cmp(&b.arrival_time)
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
+    let mut cmds = Vec::with_capacity(2 * sorted.len() + 1);
+    for job in sorted {
+        cmds.push(Command::AdvanceTo {
+            seconds: job.arrival_time,
+        });
+        cmds.push(Command::Submit { job });
+    }
+    cmds.push(Command::AdvanceTo {
+        seconds: config.max_seconds,
+    });
+    cmds
+}

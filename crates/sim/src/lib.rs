@@ -1,57 +1,64 @@
 //! Discrete-event cluster simulator for Gavel experiments.
 //!
-//! Re-implements (in Rust) the simulator the paper used for its large-scale
-//! evaluation (§7.1): an event-driven simulator that drives any
-//! [`gavel_core::Policy`] through the round-based mechanism of
-//! `gavel-sched`, with job arrivals from `gavel-workloads` traces and
-//! throughputs from the synthetic oracle.
+//! Re-implements (in Rust) the simulator the paper used for its
+//! large-scale evaluation (§7.1): it drives any [`gavel_core::Policy`]
+//! through the round-based mechanism of `gavel-sched`, with job arrivals
+//! from `gavel-workloads` traces and throughputs from the synthetic
+//! oracle.
 //!
-//! # Engine architecture
+//! # Architecture: a thin client of the scheduler service
 //!
-//! One event-driven engine (`engine` module, behind [`Simulator`]) serves
-//! both execution models; per-round/step cost is proportional to what
-//! *changed*, not to the whole cluster state:
+//! The scheduling engine itself lives in `gavel-service`: a
+//! command-driven [`gavel_service::SchedulerService`] owning the
+//! admit/recompute/advance/complete core, the [`SnapshotCache`], the
+//! [`EstimatorBridge`], and the round scheduler. This crate is the
+//! *trace client* of that service:
 //!
-//! - **Event queue.** Arrivals live in an arrival-sorted queue; worker
-//!   failures and their repairs are heap-scheduled cluster events drained
-//!   at round boundaries (both are §3 reset events); round boundaries and
-//!   fluid completion horizons are generated by the stepping strategy.
-//! - **Stepping strategies.** *Round stepping* realizes the §5 mechanism:
-//!   drain due events, recompute on reset/cadence, plan via the
-//!   incremental [`gavel_sched::RoundScheduler`] (a generation-keyed
-//!   candidate buffer: an unchanged allocation only re-scores priorities
-//!   instead of re-extracting and re-allocating), execute against the
-//!   oracle. *Fluid stepping* (Figure 13b's ideal execution) applies the
-//!   allocation as continuous rates until the next arrival/completion.
-//!   Both share one admit/recompute/advance/complete core — admission with
-//!   the never-placeable guard, completion via swap-remove with a
-//!   persistent job index, and outcome assembly.
-//! - **Snapshot cache.** [`SnapshotCache`] keeps the [`gavel_core::ComboSet`],
-//!   [`gavel_core::ThroughputTensor`], and [`gavel_core::PolicyJob`] vector
-//!   alive across recomputes: admission appends the arriving job's
-//!   singleton row and O(n) scored pair candidates, completion drops the
-//!   job's rows, and each recompute assembles a snapshot that is
-//!   row-for-row bitwise identical to a fresh `build_tensor_with_pairs`
-//!   run (proptested) — without the O(n²) oracle pair sweep.
+//! - [`client::compile_trace`] maps a trace to the equivalent command
+//!   stream — jobs in arrival order as `[AdvanceTo(arrival),
+//!   Submit(job)]` pairs plus a final drain advance;
+//! - [`Simulator::run`] feeds the stream to a fresh service and returns
+//!   its [`SimResult`]; [`Simulator::run_logged`] also hands back the
+//!   service's [`gavel_service::SubmissionLog`], whose
+//!   [`gavel_service::replay`] reproduces the run bit-exactly.
+//!
+//! Trace-only semantics (idle fast-forward between arrivals, round
+//! quantization of the wake-up, the simulation cap) are part of the
+//! service's submit/advance handling, so compiled traces behave
+//! bit-identically to the historical monolithic engine —
+//! `tests/pinned_regression.rs` pins fixed-seed results for 11 configs
+//! (estimated pairs, failures, physical jitter, throttled recomputes
+//! included) and additionally asserts log replay reproduces each pinned
+//! run.
+//!
+//! The per-round machinery the service core composes (and this crate
+//! re-exports for its tests and benches):
+//!
+//! - **Snapshot cache.** [`SnapshotCache`] keeps the
+//!   [`gavel_core::ComboSet`], [`gavel_core::ThroughputTensor`], and
+//!   [`gavel_core::PolicyJob`] vector alive across recomputes: admission
+//!   appends the arriving job's singleton row and O(n) scored pair
+//!   candidates, completion drops the job's rows, and each recompute
+//!   assembles a snapshot that is row-for-row bitwise identical to a
+//!   fresh `build_tensor_with_pairs` run (proptested) — without the
+//!   O(n²) oracle pair sweep.
 //! - **Bridged invalidation.** Estimator-bridged runs (Figure 14) ride
 //!   the same cache in *bridged* mode: every cached pair row is keyed by
 //!   its two members' estimator revisions, each recompute asks the
 //!   [`EstimatorBridge`] which jobs drifted since the last sync and
 //!   re-derives only the rows touching that dirty set — O(|dirty| · n)
 //!   bridge evaluations — falling back to a full re-derivation only when
-//!   the dirty set crosses a threshold fraction of the resident jobs
-//!   (see the `snapshot` module docs for the protocol). Drift itself is
-//!   observable: the estimator stamps every `register`/`refine` with a
-//!   monotone clock, and `forget` clears a job's stamp so reused ids
-//!   cannot resurrect stale rows.
+//!   the dirty set crosses a threshold fraction of the resident jobs.
+//! - **Round planning.** The incremental `gavel_sched::RoundScheduler`
+//!   (generation-keyed candidate buffer: an unchanged allocation only
+//!   re-scores priorities instead of re-extracting and re-allocating).
 //!
 //! The `sim` bench (`BENCH_sim.json`) tracks the cached-vs-rebuild
 //! recompute cost and gates CI on the oracle-backed path never falling
 //! back to full rebuilds, on the ≥3x incremental speedup at 1024+ jobs,
 //! and on the bridged path staying partial (one expected full
-//! re-derivation at population) with a ≥2x edge over the estimator-driven
-//! rebuild under drift; `tests/pinned_regression.rs` pins fixed-seed
-//! results bit-exactly, estimated runs included.
+//! re-derivation at population) with a ≥2x edge over the
+//! estimator-driven rebuild under drift.
 //!
 //! Fidelity knobs reproduce the paper's setups:
 //!
@@ -64,20 +71,20 @@
 //! - **allocation recomputation cadence** (reset events and/or every N
 //!   rounds),
 //! - **worker failures** (Poisson failures with fixed repair times, both
-//!   treated as reset events).
+//!   treated as reset events),
+//! - **strict semantics** ([`SimConfig::strict_recompute`] /
+//!   [`SimConfig::strict_failure_clock`]: opt-in fixes for two
+//!   replay-era behaviors — stale-combo resurrection under throttled
+//!   recomputes, and failure events batching at the next busy round
+//!   after an idle gap — kept off by default so pinned results hold).
 
-pub mod config;
-mod engine;
-pub mod estimate;
-pub mod metrics;
-pub mod runner;
-pub mod snapshot;
+pub mod client;
 
-pub use config::{FailureConfig, RecomputeCadence, SimConfig};
-pub use estimate::EstimatorBridge;
-pub use metrics::{JobOutcome, SimResult};
-pub use runner::Simulator;
-pub use snapshot::{SnapshotCache, SnapshotStats, BRIDGED_DIRTY_FRACTION};
+pub use client::{compile_trace, Simulator};
+pub use gavel_service::{
+    EstimatorBridge, FailureConfig, JobOutcome, RecomputeCadence, ServiceStats, SimConfig,
+    SimResult, SnapshotCache, SnapshotStats, BRIDGED_DIRTY_FRACTION,
+};
 
 /// Runs `policy` over `trace` under `config` and returns the metrics.
 ///

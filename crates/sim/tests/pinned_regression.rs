@@ -16,9 +16,11 @@
 //! If a change intentionally alters simulation semantics, recapture the
 //! fingerprints (see the `fingerprint` helper) and say so in the PR.
 
+use gavel_core::Policy;
 use gavel_policies::{Hierarchical, MaxMinFairness, MinMakespan};
-use gavel_sim::{RecomputeCadence, SimConfig, SimResult};
-use gavel_workloads::{cluster_twelve, generate, Oracle, TraceConfig};
+use gavel_service::{replay, ServiceConfig, SubmissionLog};
+use gavel_sim::{RecomputeCadence, SimConfig, SimResult, Simulator};
+use gavel_workloads::{cluster_twelve, generate, Oracle, TraceConfig, TraceJob};
 
 fn small_cluster() -> gavel_core::ClusterSpec {
     gavel_core::ClusterSpec::new(&[
@@ -65,12 +67,30 @@ fn fingerprint(r: &SimResult) -> Fingerprint {
     }
 }
 
+/// Runs through the service path *with* logging, then replays the log
+/// (after a serialize/parse round trip) and asserts the replay is
+/// bit-identical to the live run — every pinned config double-checks the
+/// submission-log protocol.
+fn run_replayed(policy: &dyn Policy, trace: &[TraceJob], cfg: &SimConfig) -> SimResult {
+    let (live, log) = Simulator::new(cfg.clone()).run_logged(policy, trace);
+    let parsed = SubmissionLog::parse(&log.serialize()).expect("log text round-trips");
+    let replayed = replay(policy, cfg, &ServiceConfig::default(), &parsed);
+    assert_eq!(
+        fingerprint(&live),
+        fingerprint(&replayed),
+        "replay diverges from live run"
+    );
+    assert_eq!(live.snapshot_stats, replayed.snapshot_stats);
+    assert_eq!(live.service_stats, replayed.service_stats);
+    live
+}
+
 #[test]
 fn round_mode_plain() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::continuous_single(1.2, 30, 5), &oracle);
     let cfg = SimConfig::new(small_cluster());
-    let r = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::new(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -90,7 +110,7 @@ fn round_mode_space_sharing() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::continuous_single(2.0, 40, 17), &oracle);
     let cfg = SimConfig::new(cluster_twelve()).with_space_sharing();
-    let r = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -110,7 +130,7 @@ fn round_mode_physical_fidelity() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::continuous_single(1.5, 30, 13), &oracle);
     let cfg = SimConfig::new(cluster_twelve()).with_physical_fidelity(3);
-    let r = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::new(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -130,7 +150,7 @@ fn round_mode_worker_failures() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::continuous_single(1.0, 25, 41), &oracle);
     let cfg = SimConfig::new(cluster_twelve()).with_failures(7200.0, 3600.0);
-    let r = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::new(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -151,7 +171,7 @@ fn ideal_fluid_mode() {
     let trace = generate(&TraceConfig::continuous_single(1.5, 20, 7), &oracle);
     let mut cfg = SimConfig::new(small_cluster());
     cfg.ideal_execution = true;
-    let r = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::new(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -174,7 +194,7 @@ fn throttled_reset_cadence() {
     let trace = generate(&TraceConfig::continuous_single(2.0, 25, 37), &oracle);
     let mut cfg = SimConfig::new(small_cluster());
     cfg.recompute = RecomputeCadence::ThrottledResets(3);
-    let r = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::new(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -194,7 +214,7 @@ fn hierarchical_water_filling() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::continuous_single(1.0, 24, 11), &oracle);
     let cfg = SimConfig::new(cluster_twelve());
-    let r = gavel_sim::run(&Hierarchical::single_level(), &trace, &cfg);
+    let r = run_replayed(&Hierarchical::single_level(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -214,7 +234,7 @@ fn makespan_policy_static_trace() {
     let oracle = Oracle::new();
     let trace = generate(&TraceConfig::static_single(30, 23), &oracle);
     let cfg = SimConfig::new(cluster_twelve());
-    let r = gavel_sim::run(&MinMakespan::new(), &trace, &cfg);
+    let r = run_replayed(&MinMakespan::new(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -261,7 +281,7 @@ fn estimated_with_worker_failures() {
         .with_estimated_pairs()
         .with_failures(14_400.0, 3600.0);
     cfg.seed = 5;
-    let r = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -288,7 +308,7 @@ fn estimated_with_throttled_recomputes() {
     let trace = generate(&TraceConfig::continuous_single(2.2, 30, 59), &oracle);
     let mut cfg = SimConfig::new(cluster_twelve()).with_estimated_pairs();
     cfg.recompute = RecomputeCadence::ThrottledResets(4);
-    let r = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {
@@ -313,7 +333,7 @@ fn estimated_pair_throughputs() {
     let trace = generate(&TraceConfig::continuous_single(2.0, 30, 19), &oracle);
     let mut cfg = SimConfig::new(cluster_twelve()).with_space_sharing();
     cfg.estimate_pair_throughputs = true;
-    let r = gavel_sim::run(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
+    let r = run_replayed(&MaxMinFairness::with_space_sharing(), &trace, &cfg);
     assert_eq!(
         fingerprint(&r),
         Fingerprint {

@@ -14,7 +14,8 @@
 //! | [`policies`] | All Table 1 policies plus AlloX/Gandiva/Tiresias-style baselines |
 //! | [`sched`] | The round-based scheduling mechanism and placement |
 //! | [`workloads`] | Table 2 model zoo, synthetic throughput oracle, trace generators |
-//! | [`sim`] | Discrete-event cluster simulator and metrics |
+//! | [`service`] | Command-driven scheduler service: entity job books, submission log, replay |
+//! | [`sim`] | Trace-driven simulator client of the service, and metrics |
 //! | [`estimator`] | Quasar-style throughput estimator (matrix completion) |
 //!
 //! # Examples
@@ -52,6 +53,7 @@ pub use gavel_core as core;
 pub use gavel_estimator as estimator;
 pub use gavel_policies as policies;
 pub use gavel_sched as sched;
+pub use gavel_service as service;
 pub use gavel_sim as sim;
 pub use gavel_solver as solver;
 pub use gavel_workloads as workloads;
@@ -68,6 +70,7 @@ pub mod prelude {
         MinCostSlo, MinMakespan, ShortestJobFirst,
     };
     pub use gavel_sched::{RoundPlan, RoundScheduler};
+    pub use gavel_service::{Command, SchedulerService, ServiceConfig, SubmissionLog};
     pub use gavel_sim::{RecomputeCadence, SimConfig, SimResult, Simulator};
     pub use gavel_workloads::{
         cluster_physical, cluster_simulated, cluster_small, cluster_twelve, generate, GpuKind,
