@@ -1,0 +1,9 @@
+//! Crash-safe durability demo: a durable (WAL + checkpoint) service run
+//! killed mid-write at a sweep of injection points, recovered from the
+//! surviving bytes, and resumed — bit-exact at every crash point.
+//!
+//! Run: `cargo run --release -p gavel-experiments --bin svc_recovery`
+
+fn main() {
+    gavel_experiments::figs::svc_recovery::run(gavel_experiments::Scale::from_args());
+}

@@ -2,6 +2,7 @@
 //! smoke tests can drive every experiment on a tiny trace.
 
 pub mod hier_timeline;
+pub mod svc_recovery;
 pub mod svc_replay;
 
 pub mod fig01_throughputs;

@@ -35,6 +35,7 @@ smoke!(
     fig20_las_priorities,
     fig21_hier_fifo,
     sec7_cost_policies,
+    svc_recovery,
     svc_replay,
     table3_endtoend,
 );

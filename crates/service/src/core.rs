@@ -25,6 +25,7 @@
 
 use crate::command::{Command, Rejection, RejectionTally, SubmissionLog};
 use crate::config::{FailureConfig, RecomputeCadence, SimConfig};
+use crate::error::{InvalidCommand, InvalidReason, ServiceError};
 use crate::estimate::EstimatorBridge;
 use crate::metrics::{EntityCounters, JobOutcome, ServiceStats, SimResult};
 use crate::snapshot::{SnapshotCache, BRIDGED_DIRTY_FRACTION};
@@ -99,9 +100,11 @@ impl PartialOrd for QueuedEvent {
 }
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Event times are finite (command validation refuses non-finite
+        // times and failure arithmetic stays finite); `total_cmp` keeps
+        // the ordering total without a panicking unwrap.
         self.time
-            .partial_cmp(&other.time)
-            .expect("event times are finite")
+            .total_cmp(&other.time)
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -242,17 +245,16 @@ impl<'p> SchedulerService<'p> {
         // Bridged runs cache per-pair estimated rows keyed by estimator
         // revisions; the oracle-backed path keeps its admission-time
         // candidates. Either way, no recompute pays the O(n²) sweep.
-        let cache = if bridge.is_some() {
-            SnapshotCache::new_bridged(
+        let cache = match (&bridge, config.pairs) {
+            (Some(_), Some(pairs)) => SnapshotCache::new_bridged(
                 config.assume_consolidated,
-                config.pairs.expect("bridge requires pair options"),
+                pairs,
                 BRIDGED_DIRTY_FRACTION,
-            )
-        } else {
-            SnapshotCache::new(
+            ),
+            _ => SnapshotCache::new(
                 config.assume_consolidated,
                 if want_pairs { config.pairs } else { None },
-            )
+            ),
         };
         let mut events = EventQueue::default();
         let mut failure_rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xfa11));
@@ -300,52 +302,58 @@ impl<'p> SchedulerService<'p> {
     }
 
     /// Applies one command: accepted commands are appended to the
-    /// submission log; rejected commands leave the schedule untouched
-    /// (only rejection tallies move).
-    pub fn apply(&mut self, cmd: &Command) -> Result<(), Rejection> {
-        let result = match cmd {
-            Command::Submit { job } => self.do_submit(job),
-            Command::Complete { job } => self.do_complete(*job),
-            Command::Cancel { job } => self.do_cancel(*job),
-            Command::AdvanceTo { seconds } => {
-                self.do_advance(*seconds);
-                Ok(())
-            }
-            Command::QueryAllocation => {
-                self.do_query();
-                Ok(())
-            }
-            Command::InjectFailure => self.do_inject_failure(),
-            Command::InjectRepair { accel } => self.do_inject_repair(*accel),
+    /// submission log; failed commands — rejected by a rule or malformed
+    /// outright — leave the schedule untouched (only rejection tallies
+    /// move, never the process).
+    pub fn apply(&mut self, cmd: &Command) -> Result<(), ServiceError> {
+        let result: Result<(), ServiceError> = match validate_command(cmd) {
+            Err(invalid) => Err(ServiceError::Invalid(invalid)),
+            Ok(()) => match cmd {
+                Command::Submit { job } => self.do_submit(job).map_err(ServiceError::from),
+                Command::Complete { job } => self.do_complete(*job).map_err(ServiceError::from),
+                Command::Cancel { job } => self.do_cancel(*job).map_err(ServiceError::from),
+                Command::AdvanceTo { seconds } => {
+                    self.do_advance(*seconds);
+                    Ok(())
+                }
+                Command::QueryAllocation => {
+                    self.do_query();
+                    Ok(())
+                }
+                Command::InjectFailure => self.do_inject_failure().map_err(ServiceError::from),
+                Command::InjectRepair { accel } => {
+                    self.do_inject_repair(*accel).map_err(ServiceError::from)
+                }
+            },
         };
-        match result {
+        match &result {
             Ok(()) => {
                 self.commands_accepted += 1;
                 self.log.push(cmd.clone());
             }
-            Err(rej) => {
+            Err(err) => {
                 let entity = match cmd {
                     Command::Submit { job } => job.entity.map(|e| e as u32),
                     _ => None,
                 };
-                self.log.record_rejection(rej, entity);
+                self.log.record_rejection(err, entity);
             }
         }
         result
     }
 
     /// Submits a job for admission.
-    pub fn submit(&mut self, job: TraceJob) -> Result<(), Rejection> {
+    pub fn submit(&mut self, job: TraceJob) -> Result<(), ServiceError> {
         self.apply(&Command::Submit { job })
     }
 
     /// Forces `job` to complete at the current service time.
-    pub fn complete_job(&mut self, job: JobId) -> Result<(), Rejection> {
+    pub fn complete_job(&mut self, job: JobId) -> Result<(), ServiceError> {
         self.apply(&Command::Complete { job })
     }
 
     /// Cancels an active job.
-    pub fn cancel(&mut self, job: JobId) -> Result<(), Rejection> {
+    pub fn cancel(&mut self, job: JobId) -> Result<(), ServiceError> {
         self.apply(&Command::Cancel { job })
     }
 
@@ -361,12 +369,12 @@ impl<'p> SchedulerService<'p> {
     }
 
     /// Takes a random worker down (a §3 reset event).
-    pub fn inject_failure(&mut self) -> Result<(), Rejection> {
+    pub fn inject_failure(&mut self) -> Result<(), ServiceError> {
         self.apply(&Command::InjectFailure)
     }
 
     /// Brings a downed worker of accelerator type `accel` back up.
-    pub fn inject_repair(&mut self, accel: usize) -> Result<(), Rejection> {
+    pub fn inject_repair(&mut self, accel: usize) -> Result<(), ServiceError> {
         self.apply(&Command::InjectRepair { accel })
     }
 
@@ -389,6 +397,12 @@ impl<'p> SchedulerService<'p> {
     /// commands are not re-applied, so their counters carry over).
     pub(crate) fn seed_rejections(&mut self, tally: RejectionTally) {
         self.log.set_rejections(tally);
+    }
+
+    /// Records a rejection recovered from a WAL rejection record (the
+    /// failed command itself was never logged, only its tally entry).
+    pub(crate) fn note_recovered_rejection(&mut self, err: &ServiceError, entity: Option<u32>) {
+        self.log.record_rejection(err, entity);
     }
 
     /// A read-only view of the current allocation (not logged — use
@@ -777,7 +791,11 @@ impl<'p> SchedulerService<'p> {
             self.last_recompute_round = self.rounds as u32;
         }
 
-        let (_, _, alloc) = self.current.as_ref().expect("allocation computed");
+        let Some((_, _, alloc)) = self.current.as_ref() else {
+            // Unreachable: the branch above always installs an
+            // allocation when `current` is empty.
+            return;
+        };
         let sf = ActiveScaleFactors {
             active: &self.active,
             index: &self.index,
@@ -926,7 +944,10 @@ impl<'p> SchedulerService<'p> {
     fn step_fluid(&mut self, horizon: f64) {
         self.recompute();
         let cfg = &self.config;
-        let (_, tensor, alloc) = self.current.as_ref().expect("allocation computed");
+        let Some((_, tensor, alloc)) = self.current.as_ref() else {
+            // Unreachable: `recompute` always installs an allocation.
+            return;
+        };
 
         // Per-job fluid rates.
         let rates: Vec<f64> = self
@@ -1008,10 +1029,13 @@ impl<'p> SchedulerService<'p> {
         for job in &self.active {
             self.outcomes.push(make_outcome(job, None));
         }
+        // Arrivals are finite (validation), so `partial_cmp` never
+        // returns `None`; `Equal` keeps the stable sort's input order as
+        // a harmless fallback rather than panicking.
         self.outcomes.sort_by(|a, b| {
             a.arrival
                 .partial_cmp(&b.arrival)
-                .unwrap()
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.id.cmp(&b.id))
         });
 
@@ -1060,6 +1084,7 @@ impl<'p> SchedulerService<'p> {
         ServiceStats {
             commands_accepted: self.commands_accepted,
             commands_rejected: rejections.commands,
+            invalid_commands: rejections.invalid,
             admission_cap_rejections: rejections.admission_cap,
             queries_served: self.queries_served,
             max_queries_between_recomputes: self
@@ -1075,6 +1100,44 @@ impl<'p> SchedulerService<'p> {
 
 fn mix(acc: u64, x: u64) -> u64 {
     (acc.rotate_left(13) ^ x).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Validates a command's payload before it touches any scheduling state:
+/// every `f64` field must be finite (a NaN arrival or advance target
+/// would poison event ordering and outcome sorts downstream) and the
+/// scale factor positive. Malformed commands are tallied rejections, not
+/// process aborts.
+fn validate_command(cmd: &Command) -> Result<(), InvalidCommand> {
+    fn finite(v: f64, field: &'static str) -> Result<(), InvalidCommand> {
+        if v.is_finite() {
+            Ok(())
+        } else {
+            Err(InvalidCommand {
+                field,
+                reason: InvalidReason::NotFinite,
+            })
+        }
+    }
+    match cmd {
+        Command::Submit { job } => {
+            finite(job.arrival_time, "arrival_time")?;
+            finite(job.total_steps, "total_steps")?;
+            finite(job.duration_seconds, "duration_seconds")?;
+            finite(job.weight, "weight")?;
+            if let Some(slo) = job.slo_factor {
+                finite(slo, "slo_factor")?;
+            }
+            if job.scale_factor == 0 {
+                return Err(InvalidCommand {
+                    field: "scale_factor",
+                    reason: InvalidReason::NotPositive,
+                });
+            }
+            Ok(())
+        }
+        Command::AdvanceTo { seconds } => finite(*seconds, "seconds"),
+        _ => Ok(()),
+    }
 }
 
 /// Whether `plan` respects the reduced per-type capacity `available`.

@@ -36,6 +36,42 @@
 //! with `f64`s as IEEE-754 bit patterns ([`SubmissionLog::serialize`] /
 //! [`SubmissionLog::parse`]), so persistence round trips are exact.
 //!
+//! # Durability and crash recovery
+//!
+//! The service can be wrapped in a [`DurableService`], which makes every
+//! accepted command crash-safe via a write-ahead log plus periodic
+//! checkpoints:
+//!
+//! - **WAL** ([`wal`]): each command (and each *rejection*, so tallies
+//!   survive) is framed as a length-prefixed, CRC-32-checksummed,
+//!   version-tagged record behind a pluggable [`LogSink`]
+//!   ([`MemorySink`], [`FileSink`], or the fault-injecting
+//!   [`FaultSink`]). The durability contract is apply-then-append: a
+//!   command is durable once [`DurableService::apply`] returns, and a
+//!   crash mid-write loses at most the single in-flight command.
+//! - **Checkpoints** ([`checkpoint`]): every `checkpoint_every` records
+//!   the service saves a [`Checkpoint`] — the serialized submission-log
+//!   prefix, a config fingerprint, the covered WAL sequence number, and
+//!   the live [`SchedulerService::state_fingerprint`] — then compacts
+//!   the WAL. The save happens *before* compaction, so a crash between
+//!   the two leaves checkpoint-covered records in the WAL; recovery
+//!   skips them by sequence number.
+//! - **Recovery** ([`recovery`]): [`recover`] parses the checkpoint
+//!   (refusing config mismatches and fingerprint divergence), replays
+//!   its embedded prefix, then scans the WAL with torn-tail tolerance —
+//!   a truncated frame, short body, bad length, checksum mismatch, or
+//!   unknown record version at the tail is classified ([`TornTail`]) and
+//!   dropped rather than misread, while damage *before* the tail is
+//!   refused. The recovered state is always a bit-exact prefix of the
+//!   uninterrupted run.
+//! - **Crash harness**: [`FaultPlan`] (kill after k appends keeping a
+//!   fraction of the last write, corrupt a byte, truncate), derived
+//!   deterministically from a seed, drives [`run_until_crash`] — the
+//!   crash-matrix tests assert that for *every* crash index across
+//!   round-based/fluid/failure/estimated/strict configs, recovery lands
+//!   on the exact durable prefix and resuming the lost suffix converges
+//!   bit-for-bit with the uninterrupted run.
+//!
 //! # Relation to `gavel-sim`
 //!
 //! The trace simulator is now a thin client of this crate: it compiles a
@@ -51,16 +87,35 @@
 //! [`SimConfig::strict_failure_clock`] (failure/repair events process at
 //! their scheduled times during idle fast-forwards).
 
+pub mod checkpoint;
 pub mod command;
 pub mod config;
 pub mod core;
+pub mod error;
 pub mod estimate;
 pub mod metrics;
+pub mod recovery;
 pub mod snapshot;
+pub mod wal;
 
-pub use command::{replay, Command, LogParseError, Rejection, RejectionTally, SubmissionLog};
+pub use checkpoint::{
+    config_fingerprint, Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore,
+    MemoryCheckpointStore,
+};
+pub use command::{
+    replay, Command, LogParseError, Rejection, RejectionTally, SubmissionLog, LOG_VERSION,
+};
 pub use config::{FailureConfig, RecomputeCadence, SimConfig};
 pub use core::{AllocationView, SchedulerService, ServiceConfig};
+pub use error::{InvalidCommand, InvalidReason, ServiceError};
 pub use estimate::EstimatorBridge;
 pub use metrics::{EntityCounters, JobOutcome, ServiceStats, SimResult};
+pub use recovery::{
+    recover, run_until_crash, CrashOutcome, DurableService, MemoryDurableService, RecoveryError,
+    RecoveryReport,
+};
 pub use snapshot::{SnapshotCache, SnapshotStats, BRIDGED_DIRTY_FRACTION};
+pub use wal::{
+    scan_wal, FaultPlan, FaultSink, FileSink, KillSpec, LogSink, MemorySink, RecordKind,
+    RejectionRecord, TornReason, TornTail, Wal, WalError, WalRecord, WalScan,
+};

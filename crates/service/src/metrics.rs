@@ -25,8 +25,12 @@ pub struct EntityCounters {
 pub struct ServiceStats {
     /// Commands accepted (and appended to the submission log).
     pub commands_accepted: usize,
-    /// Commands rejected (never logged).
+    /// Commands that failed (never logged): rule rejections plus
+    /// malformed payloads.
     pub commands_rejected: usize,
+    /// Failures specifically due to payload validation (non-finite
+    /// times, zero scale factors, ...).
+    pub invalid_commands: usize,
     /// Rejections specifically due to the per-entity admission cap.
     pub admission_cap_rejections: usize,
     /// Allocation queries served.
@@ -204,14 +208,14 @@ impl SimResult {
             .filter_map(|j| j.jct())
             .map(|s| s / 3600.0)
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
 
     /// Sorted finish-time-fairness ratios of completed jobs.
     pub fn ftf_cdf(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.jobs.iter().filter_map(|j| j.ftf_rho()).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
 

@@ -340,7 +340,12 @@ impl SnapshotCache {
         oracle: &Oracle,
         bridge: &EstimatorBridge,
     ) -> (ComboSet, ThroughputTensor) {
-        let br = self.bridged.as_mut().expect("cache not in bridged mode");
+        let Some(br) = self.bridged.as_mut() else {
+            // Not a bridged cache: serve the oracle-backed snapshot
+            // instead of dying — callers constructed via `new` simply
+            // never see estimated rows.
+            return self.snapshot();
+        };
         let opts = br.opts;
 
         // Dirty set: estimator drift since the last sync, plus admissions
@@ -436,15 +441,25 @@ impl SnapshotCache {
         let mut combos: Vec<Combo> = self.specs.iter().map(|s| Combo::single(s.id)).collect();
         let mut rows = self.singleton_rows.clone();
         for &(a, b) in &br.selected {
-            let entry = &br.entries[&(a, b)];
+            // Selection only ever ranks entries with above-threshold
+            // scores, so the entry and its row exist; a missing one is a
+            // selection bug we skip (debug-asserted) rather than die on.
+            let Some(entry) = br.entries.get(&(a, b)) else {
+                debug_assert!(false, "selected pair ({a}, {b}) missing from entries");
+                continue;
+            };
             #[cfg(debug_assertions)]
             debug_assert_eq!(
                 entry.revs,
                 (bridge.revision(a), bridge.revision(b)),
                 "stale bridged entry ({a}, {b}) survived invalidation"
             );
+            let Some(row) = entry.row.clone() else {
+                debug_assert!(false, "selected entry ({a}, {b}) has no row");
+                continue;
+            };
             combos.push(Combo::pair(a, b));
-            rows.push(entry.row.clone().expect("selected entry has a row"));
+            rows.push(row);
         }
         (
             ComboSet::new(combos),
@@ -455,7 +470,8 @@ impl SnapshotCache {
     /// Re-runs the fresh builder's candidate ranking and greedy per-job
     /// cap over the cached candidates.
     fn reselect_pairs(&mut self) {
-        let opts = self.pairs.expect("pair selection requires options");
+        // Without pair options there are no candidates to rank.
+        let Some(opts) = self.pairs else { return };
         let pos: HashMap<JobId, u32> = self
             .specs
             .iter()

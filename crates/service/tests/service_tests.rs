@@ -6,7 +6,8 @@
 use gavel_core::{JobId, Policy};
 use gavel_policies::MaxMinFairness;
 use gavel_service::{
-    replay, Rejection, SchedulerService, ServiceConfig, SimConfig, SimResult, SubmissionLog,
+    replay, Rejection, SchedulerService, ServiceConfig, ServiceError, SimConfig, SimResult,
+    SubmissionLog,
 };
 use gavel_service::{EntityCounters, RecomputeCadence};
 use gavel_workloads::{
@@ -97,7 +98,7 @@ fn entity_cap_rejects_then_frees_on_completion() {
     // Entity 0 is at its cap; the submit bounces and the id stays unused.
     assert_eq!(
         svc.submit(mk_job(1, 0.0, 1e7, Some(0))),
-        Err(Rejection::EntityCapExceeded)
+        Err(ServiceError::Rejected(Rejection::EntityCapExceeded))
     );
     // Other entities are unaffected.
     svc.submit(mk_job(2, 0.0, 1e7, Some(1))).unwrap();
@@ -128,20 +129,32 @@ fn duplicate_and_unknown_job_commands_are_rejected() {
     svc.submit(mk_job(7, 0.0, 1e7, None)).unwrap();
     assert_eq!(
         svc.submit(mk_job(7, 0.0, 1e7, None)),
-        Err(Rejection::DuplicateJob)
+        Err(ServiceError::Rejected(Rejection::DuplicateJob))
     );
-    assert_eq!(svc.complete_job(JobId(99)), Err(Rejection::UnknownJob));
-    assert_eq!(svc.cancel(JobId(99)), Err(Rejection::UnknownJob));
+    assert_eq!(
+        svc.complete_job(JobId(99)),
+        Err(ServiceError::Rejected(Rejection::UnknownJob))
+    );
+    assert_eq!(
+        svc.cancel(JobId(99)),
+        Err(ServiceError::Rejected(Rejection::UnknownJob))
+    );
 
     // Cancel is terminal: the outcome reports no completion, and the job
     // can be neither completed nor cancelled again.
     svc.cancel(JobId(7)).unwrap();
-    assert_eq!(svc.complete_job(JobId(7)), Err(Rejection::UnknownJob));
-    assert_eq!(svc.cancel(JobId(7)), Err(Rejection::UnknownJob));
+    assert_eq!(
+        svc.complete_job(JobId(7)),
+        Err(ServiceError::Rejected(Rejection::UnknownJob))
+    );
+    assert_eq!(
+        svc.cancel(JobId(7)),
+        Err(ServiceError::Rejected(Rejection::UnknownJob))
+    );
     // The id stays burned — ids are never reused.
     assert_eq!(
         svc.submit(mk_job(7, 0.0, 1e7, None)),
-        Err(Rejection::DuplicateJob)
+        Err(ServiceError::Rejected(Rejection::DuplicateJob))
     );
 
     let r = svc.into_result();
@@ -187,7 +200,10 @@ fn failure_and_repair_injection_paths() {
     // No failure model configured: injection is refused.
     let cfg = SimConfig::new(small_cluster());
     let mut svc = SchedulerService::new(cfg, ServiceConfig::default(), &policy);
-    assert_eq!(svc.inject_failure(), Err(Rejection::NoFailureModel));
+    assert_eq!(
+        svc.inject_failure(),
+        Err(ServiceError::Rejected(Rejection::NoFailureModel))
+    );
 
     // With a (quiescent) failure model: one injected failure downs exactly
     // one worker, repairable exactly once.
@@ -201,11 +217,14 @@ fn failure_and_repair_injection_paths() {
     assert_eq!(repaired.len(), 1, "exactly one type has a downed worker");
     // Everything is healthy again; repairs have nothing to do.
     for j in 0..num_types {
-        assert_eq!(svc.inject_repair(j), Err(Rejection::NothingToRepair));
+        assert_eq!(
+            svc.inject_repair(j),
+            Err(ServiceError::Rejected(Rejection::NothingToRepair))
+        );
     }
     assert_eq!(
         svc.inject_repair(num_types + 5),
-        Err(Rejection::NothingToRepair)
+        Err(ServiceError::Rejected(Rejection::NothingToRepair))
     );
 }
 

@@ -7,7 +7,8 @@
 
 use gavel_core::Policy;
 use gavel_service::{
-    Command, SchedulerService, ServiceConfig, SimConfig, SimResult, SubmissionLog,
+    Command, DurableService, MemoryCheckpointStore, MemorySink, SchedulerService, ServiceConfig,
+    SimConfig, SimResult, SubmissionLog,
 };
 use gavel_workloads::{Oracle, TraceJob};
 
@@ -58,6 +59,41 @@ impl Simulator {
         let log = svc.log().clone();
         (svc.into_result(), log)
     }
+
+    /// Like [`Simulator::run`], but routes every command through the
+    /// durability layer (in-memory WAL + checkpoint store, checkpointing
+    /// every `checkpoint_every` commands; 0 = never) and returns the
+    /// durable artifacts alongside the result:
+    /// `(result, wal_bytes, checkpoint_bytes)`.
+    /// `gavel_service::recover` from those artifacts reconstructs the
+    /// final service state bit-exactly — the crash-safety contract the
+    /// recovery tests pin down.
+    pub fn run_durable(
+        &self,
+        policy: &dyn Policy,
+        trace: &[TraceJob],
+        checkpoint_every: usize,
+    ) -> (SimResult, Vec<u8>, Option<Vec<u8>>) {
+        let mut durable = DurableService::new(
+            policy,
+            self.config.clone(),
+            ServiceConfig::default(),
+            MemorySink::new(),
+            MemoryCheckpointStore::new(),
+            checkpoint_every,
+        )
+        .expect("in-memory sinks cannot fail");
+        for cmd in compile_trace(trace, &self.config) {
+            let accepted = durable
+                .apply(&cmd)
+                .expect("in-memory sinks cannot fail")
+                .is_ok();
+            debug_assert!(accepted, "compiled trace command rejected: {cmd:?}");
+        }
+        let wal_bytes = durable.wal().sink().bytes().to_vec();
+        let checkpoint_bytes = durable.store().bytes().map(<[u8]>::to_vec);
+        (durable.into_result(), wal_bytes, checkpoint_bytes)
+    }
 }
 
 /// Compiles a trace into the equivalent service command stream: jobs in
@@ -68,7 +104,7 @@ pub fn compile_trace(trace: &[TraceJob], config: &SimConfig) -> Vec<Command> {
     sorted.sort_by(|a, b| {
         a.arrival_time
             .partial_cmp(&b.arrival_time)
-            .unwrap()
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.id.cmp(&b.id))
     });
     let mut cmds = Vec::with_capacity(2 * sorted.len() + 1);

@@ -411,3 +411,36 @@ fn placeable_runs_report_zero_never_placeable() {
     let result = gavel_sim::run(&MaxMinFairness::new(), &trace, &cfg);
     assert_eq!(result.never_placeable, 0);
 }
+
+#[test]
+fn durable_run_artifacts_recover_bit_exactly() {
+    let oracle = Oracle::new();
+    let trace = generate(&TraceConfig::continuous_single(6.0, 12, 5), &oracle);
+    let cfg = SimConfig::new(small_cluster());
+    let policy = MaxMinFairness::new();
+    let sim = Simulator::new(cfg.clone());
+
+    // The durable run matches the plain run bit-exactly...
+    let plain = sim.run(&policy, &trace);
+    let (durable, wal_bytes, ckpt_bytes) = sim.run_durable(&policy, &trace, 7);
+    assert_eq!(durable.makespan.to_bits(), plain.makespan.to_bits());
+    assert_eq!(durable.total_cost.to_bits(), plain.total_cost.to_bits());
+    assert_eq!(durable.rounds, plain.rounds);
+    assert!(ckpt_bytes.is_some(), "checkpoint cadence 7 must fire");
+
+    // ...and its on-disk artifacts reconstruct the final state.
+    let (svc, report) = gavel_service::recover(
+        &policy,
+        &cfg,
+        &gavel_service::ServiceConfig::default(),
+        ckpt_bytes.as_deref(),
+        &wal_bytes,
+    )
+    .expect("durable artifacts recover");
+    assert!(report.checkpoint_used);
+    assert!(report.torn.is_none());
+    let recovered = svc.into_result();
+    assert_eq!(recovered.makespan.to_bits(), plain.makespan.to_bits());
+    assert_eq!(recovered.rounds, plain.rounds);
+    assert_eq!(recovered.service_stats, plain.service_stats);
+}
