@@ -12,7 +12,11 @@
 //!   full-extraction path;
 //! - `bridged/*` — the estimator-bridged (Figure 14) recompute: the
 //!   bridged `SnapshotCache` re-deriving only drift-dirtied pair rows vs
-//!   a full estimator-driven rebuild, under a steady refinement trickle.
+//!   a full estimator-driven rebuild, under a steady refinement trickle;
+//! - `bucketed/*` — the score-bucketed candidate store's selection pass
+//!   under churn at 1024 and 4096 jobs vs the flat `rank_and_cap`
+//!   re-rank (the pre-bucketed implementation, kept as the differential
+//!   oracle behind `set_flat_rerank`).
 //!
 //! Gates (panics, run by CI at smoke scale):
 //!
@@ -24,6 +28,12 @@
 //! - the bridged path must see exactly one full re-derivation (initial
 //!   population) and zero unexpected ones, and beat the estimator-driven
 //!   full rebuild by ≥ 2x at 1024+ jobs while estimates keep drifting;
+//! - the bucketed selection must beat the flat re-rank by ≥ 5x at 4096
+//!   jobs under churn, its snapshots must stay row-for-row identical to
+//!   the flat path's, and the bucketed cache must record **zero**
+//!   flat re-ranks (`SnapshotStats::flat_reranks`) — a nonzero count
+//!   means the production path silently fell back to the O(n² log n²)
+//!   sort;
 //! - cached and fresh snapshots (oracle and bridged) must be row-for-row
 //!   identical, and cached and fresh round plans
 //!   assignment-for-assignment identical, on every sized instance.
@@ -94,7 +104,7 @@ fn bench_recompute(c: &mut Criterion) {
 
         // Correctness gate: row-for-row identity on this instance.
         {
-            let (combos, tensor) = cache.snapshot();
+            let (combos, tensor) = cache.snapshot(&oracle);
             let (fc, ft) = build_tensor_with_pairs(&oracle, &specs, true, &opts());
             assert_eq!(combos.combos(), fc.combos(), "snapshot diverges at {n}");
             for k in 0..tensor.num_rows() {
@@ -105,7 +115,7 @@ fn bench_recompute(c: &mut Criterion) {
         // Speedup gate at 1024+ jobs (outside the timed groups).
         if n >= 1024 {
             let cached = median_secs(3, || {
-                criterion::black_box(cache.snapshot());
+                criterion::black_box(cache.snapshot(&oracle));
             });
             let rebuilt = median_secs(3, || {
                 criterion::black_box(build_tensor_with_pairs(&oracle, &specs, true, &opts()));
@@ -124,7 +134,7 @@ fn bench_recompute(c: &mut Criterion) {
         }
 
         group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
-            b.iter(|| cache.snapshot())
+            b.iter(|| cache.snapshot(&oracle))
         });
         group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
             b.iter(|| build_tensor_with_pairs(&oracle, &specs, true, &opts()))
@@ -156,7 +166,7 @@ fn bench_churn(c: &mut Criterion) {
                 let s = spec(next_id);
                 next_id += 1;
                 cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
-                criterion::black_box(cache.snapshot());
+                criterion::black_box(cache.snapshot(&oracle));
             });
             let rebuilt = median_secs(3, || {
                 criterion::black_box(build_tensor_with_pairs(&oracle, &specs, true, &opts()));
@@ -180,7 +190,7 @@ fn bench_churn(c: &mut Criterion) {
                 let s = spec(next_id);
                 next_id += 1;
                 cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
-                cache.snapshot()
+                cache.snapshot(&oracle)
             })
         });
         group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
@@ -330,6 +340,107 @@ fn bench_bridged(c: &mut Criterion) {
     group.finish();
 }
 
+/// The score-bucketed store vs the flat `rank_and_cap` re-rank, under
+/// the same completion + arrival churn as `churn/*`. Both caches run the
+/// identical workload; the flat one is routed through the differential
+/// oracle via `set_flat_rerank(true)`.
+fn bench_bucketed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucketed");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let (mut cache, _specs, oracle) = populated(n, opts());
+        let mut flat_cache = cache.clone();
+        flat_cache.set_flat_rerank(true);
+        let mut next_id = n as u64;
+        let mut victim = 0usize;
+
+        // Identity gate: after identical churn, the bucketed and flat
+        // selections assemble row-for-row identical snapshots.
+        for _ in 0..3 {
+            victim = (victim + 17) % cache.len();
+            cache.remove(victim);
+            flat_cache.remove(victim);
+            let s = spec(next_id);
+            next_id += 1;
+            cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+            flat_cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+            let (bc, bt) = cache.snapshot(&oracle);
+            let (fc, ft) = flat_cache.snapshot(&oracle);
+            assert_eq!(
+                bc.combos(),
+                fc.combos(),
+                "bucketed selection diverges from flat at {n}"
+            );
+            for k in 0..bt.num_rows() {
+                assert_eq!(bt.row(k), ft.row(k), "bucketed row {k} diverges at {n}");
+            }
+        }
+
+        // Speedup gate at 4096 jobs: the tentpole claim. One completion +
+        // one arrival between recomputes, bucketed walk vs global sort.
+        let bucketed = median_secs(3, || {
+            victim = (victim + 17) % cache.len();
+            cache.remove(victim);
+            let s = spec(next_id);
+            next_id += 1;
+            cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+            criterion::black_box(cache.snapshot(&oracle));
+        });
+        let flat = median_secs(3, || {
+            victim = (victim + 17) % flat_cache.len();
+            flat_cache.remove(victim);
+            let s = spec(next_id);
+            next_id += 1;
+            flat_cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+            criterion::black_box(flat_cache.snapshot(&oracle));
+        });
+        if n >= 4096 {
+            assert!(
+                flat >= bucketed * 5.0,
+                "bucketed selection must beat the flat re-rank by >=5x at {n} jobs: \
+                 bucketed {bucketed:.4}s vs flat {flat:.4}s ({:.1}x)",
+                flat / bucketed
+            );
+        }
+        println!(
+            "bucketed/{n}: bucketed {bucketed:.4}s vs flat {flat:.4}s ({:.1}x)",
+            flat / bucketed
+        );
+
+        group.bench_with_input(BenchmarkId::new("bucketed", n), &n, |b, _| {
+            b.iter(|| {
+                victim = (victim + 17) % cache.len();
+                cache.remove(victim);
+                let s = spec(next_id);
+                next_id += 1;
+                cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+                cache.snapshot(&oracle)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat", n), &n, |b, _| {
+            b.iter(|| {
+                victim = (victim + 17) % flat_cache.len();
+                flat_cache.remove(victim);
+                let s = spec(next_id);
+                next_id += 1;
+                flat_cache.admit(&oracle, s, PolicyJob::simple(s.id, 1_000.0));
+                flat_cache.snapshot(&oracle)
+            })
+        });
+
+        // Zero unexpected full re-ranks: the production bucketed path
+        // never touches the flat sort.
+        assert_eq!(
+            cache.stats().flat_reranks,
+            0,
+            "bucketed cache fell back to the flat re-rank at {n} jobs"
+        );
+        assert!(cache.stats().bucketed_selections > 0);
+        assert!(flat_cache.stats().flat_reranks > 0);
+    }
+    group.finish();
+}
+
 /// Round planning with the generation-keyed candidate buffer vs full
 /// candidate extraction, replanning one unchanged allocation.
 fn bench_plan(c: &mut Criterion) {
@@ -390,5 +501,6 @@ fn main() {
     bench_recompute(&mut criterion);
     bench_churn(&mut criterion);
     bench_bridged(&mut criterion);
+    bench_bucketed(&mut criterion);
     bench_plan(&mut criterion);
 }

@@ -7,8 +7,18 @@
 //! the same shape (hierarchical > LAS; space sharing superlinear) up to
 //! 512 jobs by default (1024 with `--full`). See EXPERIMENTS.md.
 //!
+//! `--extended` switches to the snapshot-cache sweep past the paper's
+//! ceiling: 4k–16k active jobs through the score-bucketed candidate
+//! store, timing populate, bucketed vs flat churn recomputes, and a
+//! hierarchical-with-space-sharing solve at 8192 jobs (`--full`).
+//!
 //! Run: `cargo run --release -p gavel-experiments --bin fig12_scalability`
 
 fn main() {
-    gavel_experiments::figs::fig12_scalability::run(gavel_experiments::Scale::from_args());
+    let scale = gavel_experiments::Scale::from_args();
+    if std::env::args().any(|a| a == "--extended") {
+        gavel_experiments::figs::fig12_scalability::run_extended(scale);
+    } else {
+        gavel_experiments::figs::fig12_scalability::run(scale);
+    }
 }

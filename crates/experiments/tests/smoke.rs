@@ -39,3 +39,11 @@ smoke!(
     svc_replay,
     table3_endtoend,
 );
+
+/// The fig12 extended sweep (snapshot-cache scaling, bucketed vs flat
+/// selection, hierarchical solve over the cached snapshot) shares its
+/// `run_extended` entry point with the `--extended` binary flag.
+#[test]
+fn fig12_scalability_extended() {
+    figs::fig12_scalability::run_extended(Scale::Smoke);
+}

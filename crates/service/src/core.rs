@@ -664,7 +664,7 @@ impl<'p> SchedulerService<'p> {
             // Bridged runs re-derive only the pair rows whose members'
             // estimates drifted since the last recompute.
             Some(b) => self.cache.snapshot_bridged(&self.oracle, b),
-            None => self.cache.snapshot(),
+            None => self.cache.snapshot(&self.oracle),
         };
         let now = self.now;
         let active = &self.active;

@@ -3,6 +3,11 @@
 //! in bridged mode, under arbitrary admit/complete/refine interleavings
 //! against a live estimator, including past the dirty-set fallback
 //! threshold.
+//!
+//! Both harnesses run with the crosscheck enabled, so every bucketed
+//! selection pass is additionally asserted bit-identical (same pair set,
+//! same emission order) to the flat `rank_and_cap` differential oracle
+//! inside the cache itself.
 
 use gavel_core::{JobId, PolicyJob};
 use gavel_estimator::EstimatorConfig;
@@ -24,6 +29,7 @@ fn run_sequence(ops: &[(bool, usize, usize, usize)], opts: Option<PairOptions>) 
     let oracle = Oracle::new();
     let all = JobConfig::all();
     let mut cache = SnapshotCache::new(true, opts);
+    cache.set_crosscheck(true);
     let mut specs: Vec<JobSpec> = Vec::new();
     let mut next_id = 0u64;
     for &(admit, pick, cfg_idx, sf_sel) in ops {
@@ -42,7 +48,7 @@ fn run_sequence(ops: &[(bool, usize, usize, usize)], opts: Option<PairOptions>) 
             cache.remove(i);
             specs.swap_remove(i);
         }
-        let (combos, tensor) = cache.snapshot();
+        let (combos, tensor) = cache.snapshot(&oracle);
         let (fresh_combos, fresh_tensor) = match opts {
             Some(o) => build_tensor_with_pairs(&oracle, &specs, true, &o),
             None => build_singleton_tensor(&oracle, &specs, true),
@@ -61,6 +67,8 @@ fn run_sequence(ops: &[(bool, usize, usize, usize)], opts: Option<PairOptions>) 
     let stats = cache.stats();
     assert_eq!(stats.bridged_partial_rebuilds, 0);
     assert_eq!(stats.bridged_full_rebuilds, 0);
+    // Crosschecking runs the flat oracle once per bucketed pass.
+    assert_eq!(stats.flat_reranks, stats.bucketed_selections);
 }
 
 /// Bridged-mode interleavings: admits (registered with the estimator or
@@ -79,6 +87,7 @@ fn run_bridged_sequence(
     let all = JobConfig::all();
     let mut bridge = EstimatorBridge::new(&oracle, EstimatorConfig::default(), seed);
     let mut cache = SnapshotCache::new_bridged(true, opts, dirty_fraction);
+    cache.set_crosscheck(true);
     let mut specs: Vec<JobSpec> = Vec::new();
     let mut next_id = 0u64;
     let mut snapshots = 0usize;
@@ -148,6 +157,7 @@ fn run_bridged_sequence(
         "every bridged snapshot is classified partial or full"
     );
     assert_eq!(stats.incremental_snapshots, 0);
+    assert_eq!(stats.flat_reranks, stats.bucketed_selections);
 }
 
 proptest! {

@@ -171,6 +171,28 @@ pub fn pair_candidate_by(
     pair_row(oracle, a, b, &pair_fn)
 }
 
+/// The pruning score of [`pair_candidate`] without materializing the
+/// throughput row — the unit the simulator's score-bucketed candidate
+/// store evaluates once per (arriving job, resident job) pair at
+/// admission, deferring row construction until a pair is actually
+/// selected. Performs the same floating-point operations in the same
+/// accelerator order as [`pair_candidate`], so the result is bitwise
+/// identical to `pair_candidate(oracle, a, b).0`.
+pub fn pair_score(oracle: &Oracle, a: &JobSpec, b: &JobSpec) -> f64 {
+    let mut best = 0.0f64;
+    let (first, second) = if a.id < b.id { (a, b) } else { (b, a) };
+    for &g in GpuKind::all() {
+        if let Some((ta, tb)) = oracle.colocated(first.config, second.config, g) {
+            let ia = oracle.isolated(first.config, g);
+            let ib = oracle.isolated(second.config, g);
+            if ia > 0.0 && ib > 0.0 {
+                best = best.max(ta / ia + tb / ib);
+            }
+        }
+    }
+    best
+}
+
 /// Builds the pair row and its pruning score: the best-type sum of
 /// colocation-normalized throughputs.
 fn pair_row(
