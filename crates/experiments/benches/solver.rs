@@ -8,6 +8,11 @@
 //!   reoptimization path),
 //! - `milp/*` — Appendix A.1-style bottleneck MILPs, branch-and-bound with
 //!   warm-started nodes vs cold nodes.
+//! - `parallel/*` — the hierarchical policy's sharded probe pass, serial
+//!   (one thread) vs the worker pool at four threads, on the same
+//!   instance. Gated on bitwise verdict/stats identity (the `gavel_par`
+//!   determinism contract), zero dense fallbacks, and — on hosts with at
+//!   least four cores — a minimum parallel-over-serial speedup.
 //!
 //! After each timed group the warm path's counters (`dual_pivots`,
 //! `bound_flips`, `warm_hits`, `warm_falls_back`) are printed so warm-path
@@ -21,9 +26,13 @@
 //! trajectory; override the location with `GAVEL_BENCH_JSON`.
 
 use criterion::{BenchmarkId, Criterion};
+use gavel_core::{ClusterSpec, ComboSet, JobId, PairThroughput, PolicyJob, ThroughputTensor};
+use gavel_par::with_threads;
+use gavel_policies::Hierarchical;
 use gavel_solver::{solve_milp, Cmp, LpProblem, MilpOptions, Sense, SolveStats, VarId, WarmStart};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Builds a synthetic max-min fairness LP with `n` jobs and 3 types.
 /// `floors` adds per-job already-achieved throughput floors, emulating a
@@ -345,6 +354,150 @@ fn bench_milp(c: &mut Criterion) {
     group.finish();
 }
 
+/// Owned bundle behind a `PolicyInput` for the probe-pass benches.
+struct ProbeSetup {
+    jobs: Vec<PolicyJob>,
+    combos: ComboSet,
+    tensor: ThroughputTensor,
+    cluster: ClusterSpec,
+}
+
+impl ProbeSetup {
+    fn input(&self) -> gavel_core::PolicyInput<'_> {
+        gavel_core::PolicyInput {
+            jobs: &self.jobs,
+            combos: &self.combos,
+            tensor: &self.tensor,
+            cluster: &self.cluster,
+        }
+    }
+}
+
+/// A contested single-level instance: random throughputs over 3 types
+/// with tight per-type capacity, so after the first water-filling round a
+/// large fraction of jobs shows zero prepass slack and the probe shards
+/// have real work.
+fn probe_setup(n: usize, seed: u64) -> ProbeSetup {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs: Vec<PolicyJob> = (0..n)
+        .map(|m| PolicyJob::simple(JobId(m as u64), 1000.0))
+        .collect();
+    let combos = ComboSet::singletons(&jobs.iter().map(|j| j.id).collect::<Vec<_>>());
+    let rows = (0..n)
+        .map(|_| {
+            (0..3)
+                .map(|_| PairThroughput::single(rng.gen_range(0.5..4.0)))
+                .collect()
+        })
+        .collect();
+    let tensor = ThroughputTensor::new(3, rows);
+    let k = (n / 6).max(1);
+    let cluster = ClusterSpec::new(&[("v100", k, k, 0.0), ("p100", k, k, 0.0), ("k80", k, k, 0.0)]);
+    ProbeSetup {
+        jobs,
+        combos,
+        tensor,
+        cluster,
+    }
+}
+
+/// Median wall-clock of `reps` runs of `f`.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The hierarchical probe pass, serial vs the sharded worker pool. The
+/// identity gates always run (verdicts and merged stats must be
+/// bit-identical under any thread count — that's the `gavel_par`
+/// contract); the speedup gate runs at the 1024-job size on hosts where
+/// four workers can actually land on four cores.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    // A 1024-job probe pass runs whole seconds; five samples keep the
+    // group's wall-clock sane (GAVEL_BENCH_SAMPLES still wins).
+    group.sample_size(5);
+    for &n in &[256usize, 1024] {
+        let setup = probe_setup(n, 31);
+        let input = setup.input();
+        let policy = Hierarchical::single_level();
+        let floors = policy
+            .first_round_floors(&input)
+            .expect("probe bench instance is feasible");
+
+        // Identity + structure gates, outside the timed loops.
+        let (serial_set, serial_stats) =
+            with_threads(1, || policy.probe_pass(&input, &floors)).unwrap();
+        let (par_set, par_stats) = with_threads(4, || policy.probe_pass(&input, &floors)).unwrap();
+        assert_eq!(
+            serial_set, par_set,
+            "probe verdicts diverge serial vs parallel at {n} jobs"
+        );
+        assert_eq!(
+            serial_stats, par_stats,
+            "probe stats diverge serial vs parallel at {n} jobs"
+        );
+        assert_no_dense_fallback(&par_stats, "parallel/probes");
+        assert!(
+            par_stats.parallel_probes > 0 && par_stats.shards > 1,
+            "no probes took the sharded path at {n} jobs: {par_stats:?}"
+        );
+        println!(
+            "parallel/{n}: {} candidate probes across {} shards, {} bottlenecked",
+            par_stats.parallel_probes,
+            par_stats.shards,
+            par_set.len()
+        );
+
+        // Speedup gate: only meaningful where the host can physically run
+        // the shards concurrently — on fewer than four cores the pool
+        // degrades to time-slicing and the ratio measures scheduler
+        // overhead, not the sharding.
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if n >= 1024 && cores >= 4 {
+            let serial = median_secs(3, || {
+                with_threads(1, || {
+                    criterion::black_box(policy.probe_pass(&input, &floors).unwrap());
+                })
+            });
+            let par = median_secs(3, || {
+                with_threads(4, || {
+                    criterion::black_box(policy.probe_pass(&input, &floors).unwrap());
+                })
+            });
+            println!(
+                "parallel/{n}: serial {serial:.4}s vs 4-thread {par:.4}s \
+                 ({:.2}x on {cores} cores)",
+                serial / par
+            );
+            assert!(
+                serial >= par * 2.0,
+                "sharded probes must beat serial by >=2x at {n} jobs on \
+                 {cores} cores: serial {serial:.4}s vs parallel {par:.4}s"
+            );
+        } else if n >= 1024 {
+            println!("parallel/{n}: speedup gate skipped ({cores} core(s) available)");
+        }
+
+        group.bench_with_input(BenchmarkId::new("probes_serial", n), &n, |b, _| {
+            b.iter(|| with_threads(1, || policy.probe_pass(&input, &floors).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("probes_4threads", n), &n, |b, _| {
+            b.iter(|| with_threads(4, || policy.probe_pass(&input, &floors).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     // Default JSON sink for the perf trajectory; GAVEL_BENCH_JSON wins.
     // Cargo runs benches with the package directory as cwd, so anchor the
@@ -355,4 +508,5 @@ fn main() {
     bench_engines(&mut criterion);
     bench_rising_floors(&mut criterion);
     bench_milp(&mut criterion);
+    bench_parallel(&mut criterion);
 }

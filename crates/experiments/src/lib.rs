@@ -68,60 +68,12 @@ impl Scale {
     }
 }
 
-/// Worker-thread count for experiment sweeps: the `GAVEL_THREADS`
-/// environment variable when set to a positive integer, otherwise the
-/// machine's available parallelism.
-pub fn gavel_threads() -> usize {
-    std::env::var("GAVEL_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// Applies `f` to every item on a scoped worker pool ([`gavel_threads`]
-/// threads; no rayon in the build image), preserving input order in the
-/// output. Falls back to a plain serial map for single-threaded pools or
-/// trivially small inputs.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    let threads = gavel_threads().min(n);
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        out.push((i, f(&items[i])));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, r) in handle.join().expect("sweep worker panicked") {
-                results[i] = Some(r);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index visited"))
-        .collect()
-}
+/// The scoped worker pool now lives in `gavel-par` (shared with the
+/// solver's batched MILP nodes and the policies' sharded probe LPs);
+/// re-exported here so the experiment binaries and older call sites keep
+/// their import path. A panicking sweep worker re-raises its original
+/// panic payload instead of a generic "worker panicked" message.
+pub use gavel_par::{gavel_threads, parallel_map, parallel_map_init, with_threads};
 
 /// Mean of a slice (0 for empty).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -317,16 +269,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..128).collect();
+    fn parallel_map_reexport_preserves_order() {
+        // The real test suite lives in `gavel-par`; this pins the
+        // re-exported path the sweeps use.
+        let items: Vec<usize> = (0..16).collect();
         let out = parallel_map(&items, |&i| i * 2);
-        assert_eq!(out, (0..128).map(|i| i * 2).collect::<Vec<_>>());
-        let empty: Vec<usize> = Vec::new();
-        assert!(parallel_map(&empty, |&i: &usize| i).is_empty());
-    }
-
-    #[test]
-    fn thread_count_is_positive() {
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
         assert!(gavel_threads() >= 1);
     }
 

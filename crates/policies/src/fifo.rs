@@ -172,7 +172,10 @@ impl Policy for ShortestJobFirst {
                 let rb = singleton_row(input, b.id);
                 let da = a.steps_remaining / refs::x_fastest(input.tensor, ra).max(1e-12);
                 let db = b.steps_remaining / refs::x_fastest(input.tensor, rb).max(1e-12);
-                da.partial_cmp(&db).unwrap().then(ma.cmp(mb))
+                // `total_cmp` so a NaN duration (zero-throughput job with
+                // NaN steps upstream) degrades to a stable order instead
+                // of panicking mid-comparison.
+                da.total_cmp(&db).then(ma.cmp(mb))
             })
             .map(|(m, _)| m)
             .expect("non-empty jobs");

@@ -29,10 +29,28 @@
 //! branch-stable `u = Y (1 - z)` auxiliary formulation so both branch
 //! directions keep the lowering's shape and branch-and-bound nodes
 //! warm-start from the parent basis.
+//!
+//! # Sharded probe LPs
+//!
+//! The per-job probes of a round are independent of one another, so they
+//! run on the [`gavel_par`] worker pool, split into [`PROBE_SHARDS`]
+//! static shards. The shard count and membership are pure functions of the
+//! candidate list — never of `GAVEL_THREADS` — and each shard chains its
+//! own warm-start cache, seeded from a snapshot of the probe basis taken
+//! at the start of the pass. Verdicts and solver stats merge in shard
+//! order and the shared probe basis is refreshed from the *last* shard's
+//! final basis, so the whole pass is bit-identical under any thread count
+//! (see the determinism contract in `gavel_par`).
 
 use crate::common::{check_input, equal_share_throughput, solve_with_cache, solver_err, AllocLp};
 use gavel_core::{Allocation, JobId, Policy, PolicyError, PolicyInput};
-use gavel_solver::{solve_milp, Cmp, LpProblem, MilpOptions, Sense, VarId, WarmStart};
+use gavel_solver::{solve_milp, Cmp, LpProblem, MilpOptions, Sense, SolveStats, VarId, WarmStart};
+
+/// Number of static shards the per-job probe LPs are split across. A fixed
+/// constant — never derived from `GAVEL_THREADS` — so shard membership,
+/// each shard's warm-start chain, and therefore every probe verdict are
+/// pure functions of the problem, bit-identical under any thread count.
+const PROBE_SHARDS: usize = 16;
 
 /// Inner (per-entity) policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +149,197 @@ impl Hierarchical {
         self.warm_start = on;
         self
     }
+
+    /// Like [`Policy::compute_allocation`], but also returns the
+    /// aggregate [`SolveStats`] over every LP and MILP solved: round LPs,
+    /// prepass, sharded probes (whose per-shard stats merge in shard
+    /// order), and branch-and-bound nodes. The counters are identical
+    /// under any `GAVEL_THREADS` — parallelism changes wall-clock, never
+    /// the work.
+    pub fn compute_allocation_with_stats(
+        &self,
+        input: &PolicyInput<'_>,
+    ) -> Result<(Allocation, SolveStats), PolicyError> {
+        check_input(input)?;
+        let n = input.jobs.len();
+        if n == 0 {
+            return Ok((
+                Allocation::zeros(input.combos.clone(), input.cluster.num_types()),
+                SolveStats::default(),
+            ));
+        }
+        let mut wf = self.build_waterfill(input)?;
+
+        let mut best_alloc = None;
+        for _iter in 0..self.max_iterations {
+            let active: Vec<usize> = (0..n).filter(|&m| wf.weights[m] > 0.0).collect();
+            if active.is_empty() {
+                break;
+            }
+            let (t_star, alloc) = wf.solve_round()?;
+            for &m in &active {
+                wf.floors[m] += wf.weights[m] * t_star;
+            }
+            best_alloc = Some(alloc);
+
+            let bottlenecked = match self.bottleneck {
+                BottleneckMethod::Probe => wf.bottlenecked_probe(&active)?,
+                BottleneckMethod::Milp => wf.bottlenecked_milp(&active)?,
+            };
+            if bottlenecked.is_empty() {
+                // Numerical stall: treat the tightest job as bottlenecked
+                // to guarantee progress. A NaN floor would poison this
+                // ordering (and every bottleneck comparison upstream), so
+                // reject it loudly in debug builds; `total_cmp` keeps the
+                // ordering total — never panicking — in release.
+                debug_assert!(
+                    active.iter().all(|&m| !wf.floors[m].is_nan()),
+                    "NaN floor in water filling"
+                );
+                let Some(&tightest) = active
+                    .iter()
+                    .min_by(|&&a, &&b| wf.floors[a].total_cmp(&wf.floors[b]))
+                else {
+                    break;
+                };
+                wf.redistribute(tightest);
+            } else {
+                for m in bottlenecked {
+                    wf.redistribute(m);
+                }
+            }
+        }
+
+        let alloc = best_alloc.ok_or_else(|| {
+            PolicyError::NoFeasibleAllocation("water filling produced no allocation".into())
+        })?;
+        Ok((alloc, wf.stats))
+    }
+
+    /// Runs exactly one water-filling round and returns the raised floors.
+    /// Companion of [`Hierarchical::probe_pass`] for benchmarks and tests
+    /// that want to time or inspect a single probe pass in isolation.
+    pub fn first_round_floors(&self, input: &PolicyInput<'_>) -> Result<Vec<f64>, PolicyError> {
+        check_input(input)?;
+        let mut wf = self.build_waterfill(input)?;
+        let (t_star, _alloc) = wf.solve_round()?;
+        for m in 0..input.jobs.len() {
+            if wf.weights[m] > 0.0 {
+                wf.floors[m] += wf.weights[m] * t_star;
+            }
+        }
+        Ok(wf.floors)
+    }
+
+    /// Runs one sharded probe pass (prepass + per-job probe LPs) against
+    /// the given floors with every positive-weight job active, returning
+    /// the bottlenecked set and the pass's solver stats. This is the unit
+    /// the `parallel` bench group times: the probe LPs dominate a
+    /// hierarchical solve at scale, and this entry point exposes them
+    /// without the surrounding rounds.
+    pub fn probe_pass(
+        &self,
+        input: &PolicyInput<'_>,
+        floors: &[f64],
+    ) -> Result<(Vec<usize>, SolveStats), PolicyError> {
+        check_input(input)?;
+        if floors.len() != input.jobs.len() {
+            return Err(PolicyError::InvalidInput(format!(
+                "probe_pass got {} floors for {} jobs",
+                floors.len(),
+                input.jobs.len()
+            )));
+        }
+        let mut wf = self.build_waterfill(input)?;
+        wf.floors.copy_from_slice(floors);
+        let active: Vec<usize> = (0..input.jobs.len())
+            .filter(|&m| wf.weights[m] > 0.0)
+            .collect();
+        let bottlenecked = wf.bottlenecked_probe(&active)?;
+        Ok((bottlenecked, wf.stats))
+    }
+
+    /// Resolves entities and initial weights and builds the per-solve
+    /// water-filling state (floors at zero).
+    fn build_waterfill<'i, 'a>(
+        &self,
+        input: &'i PolicyInput<'a>,
+    ) -> Result<WaterFill<'i, 'a>, PolicyError> {
+        let n = input.jobs.len();
+        // Resolve entities: jobs without one become singleton entities
+        // weighted by their own job weight (single-level mode).
+        let mut entity_of = Vec::with_capacity(n);
+        let mut entities = self.entities.clone();
+        for job in input.jobs {
+            match job.entity {
+                Some(e) => {
+                    if e >= entities.len() {
+                        return Err(PolicyError::InvalidInput(format!(
+                            "{} references entity {e} but only {} entities given",
+                            job.id,
+                            entities.len()
+                        )));
+                    }
+                    entity_of.push(e);
+                }
+                None => {
+                    entity_of.push(entities.len());
+                    entities.push((job.weight, self.default_inner));
+                }
+            }
+        }
+        let inner_of: Vec<EntityPolicy> = entities.iter().map(|(_, p)| *p).collect();
+
+        // Initial per-job weights according to each entity's inner policy.
+        let base_weights: Vec<f64> = input.jobs.iter().map(|j| j.weight).collect();
+        let mut weights = vec![0.0; n];
+        for (e, &(entity_weight, inner)) in entities.iter().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&m| entity_of[m] == e).collect();
+            match inner {
+                EntityPolicy::Fairness => {
+                    let total: f64 = members.iter().map(|&m| base_weights[m]).sum();
+                    for &m in &members {
+                        weights[m] = entity_weight * base_weights[m] / total.max(1e-12);
+                    }
+                }
+                EntityPolicy::Fifo => {
+                    // An entity with no members contributes no weight; an
+                    // empty minimum just leaves the entity idle instead of
+                    // panicking.
+                    if let Some(head) = members
+                        .iter()
+                        .copied()
+                        .min_by_key(|&m| input.jobs[m].arrival_seq)
+                    {
+                        weights[head] = entity_weight;
+                    }
+                }
+            }
+        }
+
+        let factors: Vec<f64> = (0..n)
+            .map(|m| {
+                let norm = equal_share_throughput(input, m);
+                input.jobs[m].scale_factor.max(1) as f64 / norm.max(1e-12)
+            })
+            .collect();
+
+        Ok(WaterFill {
+            input,
+            factors,
+            floors: vec![0.0; n],
+            weights,
+            done: vec![false; n],
+            entity_of,
+            base_weights,
+            inner_of,
+            warm: self.warm_start,
+            round_basis: None,
+            prepass_basis: None,
+            probe_basis: None,
+            stats: SolveStats::default(),
+        })
+    }
 }
 
 /// Internal per-solve state.
@@ -158,8 +367,13 @@ struct WaterFill<'i, 'a> {
     /// Basis cache for the max-sum prepass LP of the probe method.
     prepass_basis: Option<WarmStart>,
     /// Basis cache shared by the per-job probe LPs (identical constraint
-    /// matrix across probes; only the objective and floors move).
+    /// matrix across probes; only the objective and floors move). Each
+    /// probe pass snapshots this to seed its shards and writes back the
+    /// last shard's final basis.
     probe_basis: Option<WarmStart>,
+    /// Aggregate solver stats across every LP and MILP solved, merged in
+    /// deterministic (round, then shard, then in-shard) order.
+    stats: SolveStats,
 }
 
 impl<'i, 'a> WaterFill<'i, 'a> {
@@ -198,6 +412,7 @@ impl<'i, 'a> WaterFill<'i, 'a> {
         let mut cache = self.round_basis.take();
         let sol = self.solve_lp(&alp.lp, &mut cache)?;
         self.round_basis = cache;
+        self.stats.absorb(&sol.stats);
         Ok((sol.value(t), alp.extract(input, &sol)))
     }
 
@@ -244,22 +459,70 @@ impl<'i, 'a> WaterFill<'i, 'a> {
         let mut cache = self.prepass_basis.take();
         let sol = self.solve_lp(&alp.lp, &mut cache)?;
         self.prepass_basis = cache;
+        self.stats.absorb(&sol.stats);
 
-        let mut bottlenecked = Vec::new();
-        for (i, &m) in active.iter().enumerate() {
-            if sol.value(slack_vars[i]) > 1e-6 {
-                continue; // Provably improvable.
-            }
-            if !self.probe_single(m)? {
-                bottlenecked.push(m);
-            }
+        let candidates: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| sol.value(slack_vars[i]) <= 1e-6)
+            .map(|(_, &m)| m)
+            .collect();
+        self.probe_candidates(&candidates)
+    }
+
+    /// Probes each candidate job individually, sharded across the worker
+    /// pool, and returns the subset found bottlenecked (candidate order).
+    ///
+    /// Sharding is static (see [`PROBE_SHARDS`]): contiguous candidate
+    /// chunks, each chaining warm starts from a snapshot of the shared
+    /// probe basis. Workers pick shards dynamically, but every shard's
+    /// verdicts, stats, and final basis depend only on its candidates and
+    /// the seed — the merge below walks shards in order, so the result is
+    /// bit-identical under any `GAVEL_THREADS`.
+    fn probe_candidates(&mut self, candidates: &[usize]) -> Result<Vec<usize>, PolicyError> {
+        if candidates.is_empty() {
+            return Ok(Vec::new());
         }
+        let shard_size = candidates.len().div_ceil(PROBE_SHARDS);
+        let shards: Vec<&[usize]> = candidates.chunks(shard_size).collect();
+        let seed = self.probe_basis.take();
+        let outcomes = gavel_par::parallel_map(&shards, |shard| {
+            let mut cache = seed.clone();
+            let mut stats = SolveStats::default();
+            let mut verdicts = Vec::with_capacity(shard.len());
+            for &m in *shard {
+                let (improvable, probe_stats) = self.probe_single(m, &mut cache)?;
+                stats.absorb(&probe_stats);
+                verdicts.push((m, improvable));
+            }
+            Ok::<_, PolicyError>((verdicts, cache, stats))
+        });
+        if candidates.len() > 1 {
+            self.stats.parallel_probes += candidates.len();
+            self.stats.shards += shards.len();
+        }
+        let mut bottlenecked = Vec::new();
+        let mut last_cache = seed;
+        for outcome in outcomes {
+            let (verdicts, cache, stats) = outcome?;
+            self.stats.absorb(&stats);
+            bottlenecked.extend(verdicts.iter().filter(|(_, imp)| !imp).map(|&(m, _)| m));
+            last_cache = cache;
+        }
+        self.probe_basis = last_cache;
         Ok(bottlenecked)
     }
 
     /// Probes whether job `m` alone can exceed its floor while all other
-    /// jobs keep theirs. Returns true when improvable.
-    fn probe_single(&mut self, m: usize) -> Result<bool, PolicyError> {
+    /// jobs keep theirs, chaining warm starts through `cache`. A pure
+    /// function of `(self, m, *cache)` — shard workers call it
+    /// concurrently, each with its own cache. Returns `(improvable,
+    /// stats)`.
+    fn probe_single(
+        &self,
+        m: usize,
+        cache: &mut Option<WarmStart>,
+    ) -> Result<(bool, SolveStats), PolicyError> {
         let input = self.input;
         let mut alp = AllocLp::new(input, Sense::Maximize);
         for (m2, job) in input.jobs.iter().enumerate() {
@@ -275,10 +538,9 @@ impl<'i, 'a> WaterFill<'i, 'a> {
             }
             alp.lp.add_constraint(&terms, Cmp::Ge, self.floors[m2]);
         }
-        let mut cache = self.probe_basis.take();
-        let sol = self.solve_lp(&alp.lp, &mut cache)?;
-        self.probe_basis = cache;
-        Ok(sol.objective > self.floors[m] + 1e-5 * (1.0 + self.floors[m].abs()))
+        let sol = self.solve_lp(&alp.lp, cache)?;
+        let improvable = sol.objective > self.floors[m] + 1e-5 * (1.0 + self.floors[m].abs());
+        Ok((improvable, sol.stats))
     }
 
     /// Appendix A.1 MILP: maximize the number of jobs whose normalized
@@ -291,7 +553,7 @@ impl<'i, 'a> WaterFill<'i, 'a> {
     /// sign under both branch directions, each child node's lowering keeps
     /// the parent's shape, and the parent basis stays dual feasible at
     /// every node — so branch-and-bound warm starts actually fire.
-    fn bottlenecked_milp(&self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
+    fn bottlenecked_milp(&mut self, active: &[usize]) -> Result<Vec<usize>, PolicyError> {
         let input = self.input;
         let mut alp = AllocLp::new(input, Sense::Maximize);
         let delta = 1e-4;
@@ -348,6 +610,7 @@ impl<'i, 'a> WaterFill<'i, 'a> {
             ..MilpOptions::default()
         };
         let sol = solve_milp(&alp.lp, &z_vars, &opts).map_err(solver_err)?;
+        self.stats.absorb(&sol.stats);
         Ok(active
             .iter()
             .zip(&z_vars)
@@ -381,12 +644,16 @@ impl<'i, 'a> WaterFill<'i, 'a> {
                 }
             }
             EntityPolicy::Fifo => {
-                // Weight passes to the earliest remaining job in the queue.
-                let next = peers
-                    .into_iter()
+                // Weight passes to the earliest remaining job in the
+                // queue; with every peer already bottlenecked the weight
+                // simply retires and the level keeps its fixed allocation.
+                if let Some(next) = peers
+                    .iter()
+                    .copied()
                     .min_by_key(|&k| self.input.jobs[k].arrival_seq)
-                    .expect("non-empty peers");
-                self.weights[next] += w;
+                {
+                    self.weights[next] += w;
+                }
             }
         }
     }
@@ -418,120 +685,8 @@ impl Policy for Hierarchical {
     }
 
     fn compute_allocation(&self, input: &PolicyInput<'_>) -> Result<Allocation, PolicyError> {
-        check_input(input)?;
-        let n = input.jobs.len();
-        if n == 0 {
-            return Ok(Allocation::zeros(
-                input.combos.clone(),
-                input.cluster.num_types(),
-            ));
-        }
-
-        // Resolve entities: jobs without one become singleton entities
-        // weighted by their own job weight (single-level mode).
-        let mut entity_of = Vec::with_capacity(n);
-        let mut entities = self.entities.clone();
-        for job in input.jobs {
-            match job.entity {
-                Some(e) => {
-                    if e >= entities.len() {
-                        return Err(PolicyError::InvalidInput(format!(
-                            "{} references entity {e} but only {} entities given",
-                            job.id,
-                            entities.len()
-                        )));
-                    }
-                    entity_of.push(e);
-                }
-                None => {
-                    entity_of.push(entities.len());
-                    entities.push((job.weight, self.default_inner));
-                }
-            }
-        }
-        let inner_of: Vec<EntityPolicy> = entities.iter().map(|(_, p)| *p).collect();
-
-        // Initial per-job weights according to each entity's inner policy.
-        let base_weights: Vec<f64> = input.jobs.iter().map(|j| j.weight).collect();
-        let mut weights = vec![0.0; n];
-        for (e, &(entity_weight, inner)) in entities.iter().enumerate() {
-            let members: Vec<usize> = (0..n).filter(|&m| entity_of[m] == e).collect();
-            if members.is_empty() {
-                continue;
-            }
-            match inner {
-                EntityPolicy::Fairness => {
-                    let total: f64 = members.iter().map(|&m| base_weights[m]).sum();
-                    for &m in &members {
-                        weights[m] = entity_weight * base_weights[m] / total.max(1e-12);
-                    }
-                }
-                EntityPolicy::Fifo => {
-                    let head = members
-                        .into_iter()
-                        .min_by_key(|&m| input.jobs[m].arrival_seq)
-                        .expect("non-empty members");
-                    weights[head] = entity_weight;
-                }
-            }
-        }
-
-        let factors: Vec<f64> = (0..n)
-            .map(|m| {
-                let norm = equal_share_throughput(input, m);
-                input.jobs[m].scale_factor.max(1) as f64 / norm.max(1e-12)
-            })
-            .collect();
-
-        let mut wf = WaterFill {
-            input,
-            factors,
-            floors: vec![0.0; n],
-            weights,
-            done: vec![false; n],
-            entity_of,
-            base_weights,
-            inner_of,
-            warm: self.warm_start,
-            round_basis: None,
-            prepass_basis: None,
-            probe_basis: None,
-        };
-
-        let mut best_alloc = None;
-        for _iter in 0..self.max_iterations {
-            let active: Vec<usize> = (0..n).filter(|&m| wf.weights[m] > 0.0).collect();
-            if active.is_empty() {
-                break;
-            }
-            let (t_star, alloc) = wf.solve_round()?;
-            for &m in &active {
-                wf.floors[m] += wf.weights[m] * t_star;
-            }
-            best_alloc = Some(alloc);
-
-            let bottlenecked = match self.bottleneck {
-                BottleneckMethod::Probe => wf.bottlenecked_probe(&active)?,
-                BottleneckMethod::Milp => wf.bottlenecked_milp(&active)?,
-            };
-            if bottlenecked.is_empty() {
-                // Numerical stall: treat the tightest job as bottlenecked to
-                // guarantee progress.
-                let &tightest = active
-                    .iter()
-                    .min_by(|&&a, &&b| wf.floors[a].partial_cmp(&wf.floors[b]).unwrap())
-                    .expect("non-empty active set");
-                wf.redistribute(tightest);
-            } else {
-                for m in bottlenecked {
-                    wf.redistribute(m);
-                }
-            }
-        }
-
-        best_alloc.ok_or_else(|| {
-            PolicyError::NoFeasibleAllocation("water filling produced no allocation".into())
-        })
+        self.compute_allocation_with_stats(input)
+            .map(|(alloc, _stats)| alloc)
     }
 }
 

@@ -96,6 +96,34 @@
 //! each node from its parent's basis — patching the node's bounds into
 //! the root's sparse instance without re-lowering.
 //!
+//! # Threading: batched solves on the `gavel-par` pool
+//!
+//! Two solve families fan out over the scoped worker pool in `gavel-par`
+//! (`GAVEL_THREADS` sets the worker count; `gavel_par::with_threads`
+//! overrides it for a scope):
+//!
+//! - **MILP node waves.** [`milp`]'s branch-and-bound explores the tree
+//!   in *waves*: the whole frontier is solved as one batch, then pruning,
+//!   incumbent updates, and branching happen sequentially in frontier
+//!   order. Each node solve is a pure function of (root context, node
+//!   bounds, parent basis), workers share the root's lowering read-only
+//!   and keep per-worker scratch instances, and per-node stats merge in
+//!   node order.
+//! - **Sharded probe LPs.** `gavel-policies`' hierarchical water filling
+//!   splits each round's per-job probe LPs into a fixed number of shards,
+//!   each chaining its own [`WarmStart`] cache from a shared snapshot.
+//!
+//! The determinism contract in both cases: work decomposition is a pure
+//! function of the *problem* (wave = frontier; shard count is a
+//! constant), never of the thread count, and every floats-accumulating
+//! merge walks results in input order. Parallelism therefore changes
+//! wall-clock only — solutions, objectives, and every [`SolveStats`]
+//! counter are bit-identical under any `GAVEL_THREADS`, including the
+//! two counters that record the batching itself:
+//! [`SolveStats::parallel_probes`] (LP solves routed through a batched
+//! path) and [`SolveStats::shards`] (parallel shards / multi-node
+//! waves), which count work *structure*, not scheduling.
+//!
 //! # Examples
 //!
 //! ```

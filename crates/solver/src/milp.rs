@@ -14,16 +14,35 @@
 //! change, which leaves the parent's optimal basis *dual* feasible. With
 //! bounds carried implicitly on columns (never as rows), a node is the
 //! root LP with patched `b`/`upper` vectors: the driver lowers the root
-//! *once* ([`NodeCtx`]), clones-and-patches the sparse instance per node,
-//! and re-solves from the parent's [`WarmStart`] via the dual simplex — a
-//! few pivots instead of a full two-phase solve, with no re-lowering and
-//! no matrix rebuild. Nodes whose bound change flips a row's
-//! slack/artificial structure (a shifted lower bound crossing a
-//! right-hand side through zero) transparently take the general
-//! [`LpProblem::solve_warm`] path instead; hints are validated, never
-//! trusted, so correctness is independent of all of this. The aggregated
-//! [`SolveStats`] on the returned solution expose `dual_pivots`,
-//! `warm_hits`, and `warm_falls_back` across all nodes.
+//! *once* ([`NodeCtx`]), patches the sparse instance per node in a
+//! per-worker [`NodeScratch`], and re-solves from the parent's
+//! [`WarmStart`] via the dual simplex — a few pivots instead of a full
+//! two-phase solve, with no re-lowering and no matrix rebuild. Nodes
+//! whose bound change flips a row's slack/artificial structure (a
+//! shifted lower bound crossing a right-hand side through zero)
+//! transparently take the general [`LpProblem::solve_warm`] path
+//! instead; hints are validated, never trusted, so correctness is
+//! independent of all of this. The aggregated [`SolveStats`] on the
+//! returned solution expose `dual_pivots`, `warm_hits`, and
+//! `warm_falls_back` across all nodes.
+//!
+//! # Batched node waves and determinism
+//!
+//! The search runs breadth-first in deterministic *waves*: the frontier
+//! of open nodes is solved as one batch on the shared worker pool
+//! ([`gavel_par::parallel_map_init`], one [`NodeScratch`] per worker),
+//! then processed strictly in frontier order — bound pruning, incumbent
+//! updates, and child generation are sequential. Every node relaxation
+//! is a pure function of the root context, the node's bound overrides,
+//! and its parent's basis, and every merge (stats counters, incumbent
+//! comparisons) walks the wave in frontier order, so the explored tree,
+//! the returned solution, and the aggregated counters are **bit-exactly
+//! identical under any `GAVEL_THREADS`** — one worker or many. Two
+//! deterministic prunes keep the breadth-first tree close to the old
+//! depth-first one: a node is dropped before solving when its parent's
+//! relaxation bound already fails the incumbent, and again after solving
+//! on its own bound. Multi-node waves are counted in
+//! [`SolveStats::parallel_probes`] / [`SolveStats::shards`].
 
 use crate::error::SolverError;
 use crate::problem::{recover_values, Lowering, LpProblem, Sense, VarId, VarMap, WarmStart};
@@ -72,120 +91,174 @@ pub fn solve_milp(
     let mut incumbent: Option<LpSolution> = None;
     let mut total_stats = SolveStats::default();
 
-    // Root lowering and sparse instance, shared by every node: a branch
-    // only tightens one variable's bounds, which patches the instance's
-    // `b`/`upper` vectors in place (see `solve_node`) — re-lowering and
-    // rebuilding the constraint matrix per node would cost more than the
-    // warm dual re-solve itself.
-    let mut ctx = NodeCtx::build(lp)?;
+    // Root lowering and sparse instance, shared (read-only) by every
+    // node: a branch only tightens one variable's bounds, which patches
+    // the instance's `b`/`upper` vectors in a per-worker scratch (see
+    // `solve_node`) — re-lowering and rebuilding the constraint matrix
+    // per node would cost more than the warm dual re-solve itself.
+    let ctx = NodeCtx::build(lp)?;
 
-    // Each node carries bound overrides on top of the root problem plus
-    // its parent's optimal basis (dual feasible for the child, since a
-    // branch only flips one variable bound).
-    type Node = (Vec<(VarId, f64, f64)>, Option<WarmStart>);
-    let mut stack: Vec<Node> = vec![(Vec::new(), None)];
+    // Strictly-better-than-incumbent test shared by both prune points.
+    let improvable = |bound: f64, incumbent: &Option<LpSolution>| match incumbent {
+        None => true,
+        Some(best) => {
+            if maximize {
+                bound > best.objective + 1e-9
+            } else {
+                bound < best.objective - 1e-9
+            }
+        }
+    };
 
-    while let Some((overrides, parent_basis)) = stack.pop() {
-        nodes_explored += 1;
-        if nodes_explored > opts.node_limit {
+    // Each node carries bound overrides on top of the root problem, its
+    // parent's optimal basis (dual feasible for the child, since a branch
+    // only flips one variable bound), and the parent's relaxation bound
+    // for pre-solve pruning (`NaN` = no bound yet, root only).
+    struct Node {
+        overrides: Vec<(VarId, f64, f64)>,
+        parent_basis: Option<WarmStart>,
+        parent_bound: f64,
+    }
+    let mut frontier: Vec<Node> = vec![Node {
+        overrides: Vec::new(),
+        parent_basis: None,
+        parent_bound: f64::NAN,
+    }];
+
+    while !frontier.is_empty() {
+        // Deterministic pre-solve prune: a node whose parent's relaxation
+        // bound already fails the incumbent cannot contain a better
+        // integral point. The incumbent here is the wave-boundary state,
+        // which is itself deterministic.
+        let wave: Vec<Node> = frontier
+            .drain(..)
+            .filter(|node| node.parent_bound.is_nan() || improvable(node.parent_bound, &incumbent))
+            .collect();
+        if wave.is_empty() {
+            break;
+        }
+        if nodes_explored + wave.len() > opts.node_limit {
             return Err(SolverError::NodeLimit {
-                nodes: nodes_explored,
+                nodes: nodes_explored + wave.len(),
             });
         }
-        let hint = if opts.warm_start {
-            parent_basis.as_ref()
-        } else {
-            None
-        };
-        // Final bounds per overridden variable (later overrides win).
-        let mut node_bounds: Vec<(VarId, f64, f64)> = Vec::with_capacity(overrides.len());
-        for &(v, lo, hi) in &overrides {
-            match node_bounds.iter_mut().find(|(bv, _, _)| *bv == v) {
-                Some(entry) => *entry = (v, lo, hi),
-                None => node_bounds.push((v, lo, hi)),
-            }
+        nodes_explored += wave.len();
+        if wave.len() > 1 {
+            total_stats.parallel_probes += wave.len();
+            total_stats.shards += 1;
         }
-        let (relaxed, basis) = match ctx.solve_node(lp, &node_bounds, hint, &mut total_stats) {
-            Ok(out) => out,
-            Err(SolverError::Infeasible) => continue,
-            Err(e) => return Err(e),
-        };
-        total_stats.absorb(&relaxed.stats);
-        let bounds_of = |v: VarId| {
-            node_bounds
-                .iter()
-                .find(|&&(bv, _, _)| bv == v)
-                .map(|&(_, lo, hi)| (lo, hi))
-                .unwrap_or_else(|| lp.bounds(v))
-        };
 
-        // Bound pruning: the relaxation is an upper bound (max) / lower
-        // bound (min) on any integral descendant.
-        if let Some(best) = &incumbent {
-            let improvable = if maximize {
-                relaxed.objective > best.objective + 1e-9
-            } else {
-                relaxed.objective < best.objective - 1e-9
+        // Solve the whole wave on the worker pool. Each node relaxation
+        // is a pure function of (root ctx, overrides, parent basis), so
+        // the results — collected back in frontier order — do not depend
+        // on the pool width or on item-to-worker assignment.
+        type NodeOutcome = (Result<(LpSolution, WarmStart), SolverError>, SolveStats);
+        let solved: Vec<NodeOutcome> = gavel_par::parallel_map_init(
+            &wave,
+            || ctx.scratch(),
+            |scratch, node| {
+                // Final bounds per overridden variable (later
+                // overrides win).
+                let mut node_bounds: Vec<(VarId, f64, f64)> =
+                    Vec::with_capacity(node.overrides.len());
+                for &(v, lo, hi) in &node.overrides {
+                    match node_bounds.iter_mut().find(|(bv, _, _)| *bv == v) {
+                        Some(entry) => *entry = (v, lo, hi),
+                        None => node_bounds.push((v, lo, hi)),
+                    }
+                }
+                let hint = if opts.warm_start {
+                    node.parent_basis.as_ref()
+                } else {
+                    None
+                };
+                ctx.solve_node(scratch, lp, &node_bounds, hint)
+            },
+        );
+
+        // Process results strictly in frontier order: pruning decisions,
+        // incumbent updates, and child generation are sequential and
+        // deterministic.
+        for (node, (result, err_stats)) in wave.iter().zip(solved) {
+            // Pivot counters spent on *failed* node solves (pruned
+            // infeasible nodes, whose verdict the dual phase proves) are
+            // absorbed so the aggregate accounting stays honest.
+            total_stats.absorb(&err_stats);
+            let (relaxed, basis) = match result {
+                Ok(out) => out,
+                Err(SolverError::Infeasible) => continue,
+                Err(e) => return Err(e),
             };
-            if !improvable {
+            total_stats.absorb(&relaxed.stats);
+            let bounds_of = |v: VarId| {
+                node.overrides
+                    .iter()
+                    .rev()
+                    .find(|&&(bv, _, _)| bv == v)
+                    .map(|&(_, lo, hi)| (lo, hi))
+                    .unwrap_or_else(|| lp.bounds(v))
+            };
+
+            // Bound pruning: the relaxation is an upper bound (max) /
+            // lower bound (min) on any integral descendant.
+            if !improvable(relaxed.objective, &incumbent) {
                 continue;
             }
-        }
 
-        // Find the most fractional integer variable.
-        let mut branch: Option<(VarId, f64, f64)> = None;
-        for &v in integer_vars {
-            let x = relaxed.value(v);
-            let frac = (x - x.round()).abs();
-            if frac > opts.int_tol {
-                let dist_half = (frac - 0.5).abs();
-                match branch {
-                    None => branch = Some((v, x, dist_half)),
-                    Some((_, _, best_dist)) if dist_half < best_dist => {
-                        branch = Some((v, x, dist_half))
+            // Find the most fractional integer variable.
+            let mut branch: Option<(VarId, f64, f64)> = None;
+            for &v in integer_vars {
+                let x = relaxed.value(v);
+                let frac = (x - x.round()).abs();
+                if frac > opts.int_tol {
+                    let dist_half = (frac - 0.5).abs();
+                    match branch {
+                        None => branch = Some((v, x, dist_half)),
+                        Some((_, _, best_dist)) if dist_half < best_dist => {
+                            branch = Some((v, x, dist_half))
+                        }
+                        _ => {}
                     }
-                    _ => {}
                 }
             }
-        }
 
-        match branch {
-            None => {
-                // Integral: candidate incumbent.
-                let better = match &incumbent {
-                    None => true,
-                    Some(best) => {
-                        if maximize {
-                            relaxed.objective > best.objective + 1e-9
-                        } else {
-                            relaxed.objective < best.objective - 1e-9
-                        }
-                    }
-                };
-                if better {
+            match branch {
+                None => {
+                    // Integral, and strictly better than the incumbent
+                    // (checked above): new incumbent.
                     incumbent = Some(relaxed);
                 }
-            }
-            Some((v, x, _)) => {
-                let (lo, hi) = bounds_of(v);
-                let floor = x.floor();
-                let ceil = x.ceil();
-                // Up branch: v >= ceil(x). Pushed first (explored second):
-                // raising a lower bound shifts the lowering's right-hand
-                // sides, which can (rarely) flip a row's structure, so it
-                // warm-hits slightly less often than the down branch (a
-                // pure upper-bound tighten) popped right away.
-                let child_hint = opts.warm_start.then_some(basis);
-                if ceil <= hi + opts.int_tol {
-                    let mut up = overrides.clone();
-                    up.push((v, ceil, hi));
-                    stack.push((up, child_hint.clone()));
-                }
-                // Down branch: v <= floor(x) — a pure upper-bound tighten.
-                if floor >= lo - opts.int_tol {
-                    let mut down = overrides.clone();
-                    down.push((v, lo, floor));
-                    stack.push((down, child_hint));
+                Some((v, x, _)) => {
+                    let (lo, hi) = bounds_of(v);
+                    let floor = x.floor();
+                    let ceil = x.ceil();
+                    let child_hint = opts.warm_start.then_some(basis);
+                    let parent_bound = relaxed.objective;
+                    // Down branch first: v <= floor(x) is a pure
+                    // upper-bound tighten, the shape the patched warm
+                    // path likes best.
+                    if floor >= lo - opts.int_tol {
+                        let mut down = node.overrides.clone();
+                        down.push((v, lo, floor));
+                        frontier.push(Node {
+                            overrides: down,
+                            parent_basis: child_hint.clone(),
+                            parent_bound,
+                        });
+                    }
+                    // Up branch: v >= ceil(x). Raising a lower bound
+                    // shifts the lowering's right-hand sides, which can
+                    // (rarely) flip a row's structure and fall through to
+                    // the general solve path.
+                    if ceil <= hi + opts.int_tol {
+                        let mut up = node.overrides.clone();
+                        up.push((v, ceil, hi));
+                        frontier.push(Node {
+                            overrides: up,
+                            parent_basis: child_hint,
+                            parent_bound,
+                        });
+                    }
                 }
             }
         }
@@ -206,7 +279,8 @@ pub fn solve_milp(
 }
 
 /// The shared node-solving context: the root problem's lowering and sparse
-/// instance, built once per [`solve_milp`] call.
+/// instance, built once per [`solve_milp`] call and shared *read-only* by
+/// every worker of a node wave.
 ///
 /// A branch-and-bound node is the root LP with a handful of variable-bound
 /// overrides. As long as every overridden variable lowers as a shifted
@@ -224,13 +298,18 @@ struct NodeCtx {
     raw_rhs: Vec<f64>,
     /// Objective sign: `-1` for maximization (the lowering minimizes).
     sign: f64,
-    /// Reusable per-node buffers: the node instance (constraint matrix
-    /// identical to the root's, only `b`/`upper` rewritten per node), the
-    /// node's variable mapping, raw right-hand sides, and touched rows.
-    /// Reused so the hot path allocates nothing per node.
-    scratch: Instance,
-    scratch_mapping: Vec<VarMap>,
-    scratch_raw: Vec<f64>,
+}
+
+/// Per-worker node buffers: the node instance (constraint matrix identical
+/// to the root's, only `b`/`upper` rewritten per node), the node's
+/// variable mapping, raw right-hand sides, and touched rows. Fully
+/// rewritten from the root context at the start of every node solve, so a
+/// node's result never depends on which worker's scratch it reused —
+/// reuse only saves the allocations.
+struct NodeScratch {
+    inst: Instance,
+    mapping: Vec<VarMap>,
+    raw: Vec<f64>,
     touched: Vec<usize>,
 }
 
@@ -244,10 +323,6 @@ impl NodeCtx {
             Sense::Maximize => -1.0,
         };
         Ok(NodeCtx {
-            scratch: inst.clone(),
-            scratch_mapping: lowering.mapping.clone(),
-            scratch_raw: raw_rhs.clone(),
-            touched: Vec::new(),
             lowering,
             inst,
             raw_rhs,
@@ -255,32 +330,47 @@ impl NodeCtx {
         })
     }
 
-    /// Solves one node: the root problem under `node_bounds` overrides,
-    /// warm-started from `hint` when given. Pivot counters spent on
-    /// *failed* node solves (pruned infeasible nodes, whose verdict the
-    /// dual phase proves) are absorbed into `err_stats` so the aggregate
-    /// accounting stays honest; successful solves report their stats on
-    /// the returned solution.
-    fn solve_node(
-        &mut self,
-        lp: &LpProblem,
-        node_bounds: &[(VarId, f64, f64)],
-        hint: Option<&WarmStart>,
-        err_stats: &mut SolveStats,
-    ) -> Result<(LpSolution, WarmStart), SolverError> {
-        match self.try_patched(lp, node_bounds, hint, err_stats) {
-            Some(result) => result,
-            None => Self::solve_classic(lp, node_bounds, hint),
+    /// Fresh per-worker scratch buffers sized for this context.
+    fn scratch(&self) -> NodeScratch {
+        NodeScratch {
+            inst: self.inst.clone(),
+            mapping: self.lowering.mapping.clone(),
+            raw: self.raw_rhs.clone(),
+            touched: Vec::new(),
         }
     }
 
-    /// The fast path: rewrite `b`/`upper` of the reusable node instance
+    /// Solves one node: the root problem under `node_bounds` overrides,
+    /// warm-started from `hint` when given. A pure function of its
+    /// arguments (the scratch is fully rewritten), so wave-batched solves
+    /// are bit-identical to sequential ones. Pivot counters spent on
+    /// *failed* node solves (pruned infeasible nodes, whose verdict the
+    /// dual phase proves) come back in the second tuple slot so the
+    /// aggregate accounting stays honest; successful solves report their
+    /// stats on the returned solution.
+    fn solve_node(
+        &self,
+        scratch: &mut NodeScratch,
+        lp: &LpProblem,
+        node_bounds: &[(VarId, f64, f64)],
+        hint: Option<&WarmStart>,
+    ) -> (Result<(LpSolution, WarmStart), SolverError>, SolveStats) {
+        let mut err_stats = SolveStats::default();
+        let result = match self.try_patched(scratch, lp, node_bounds, hint, &mut err_stats) {
+            Some(result) => result,
+            None => Self::solve_classic(lp, node_bounds, hint),
+        };
+        (result, err_stats)
+    }
+
+    /// The fast path: rewrite `b`/`upper` of the worker's node instance
     /// (same constraint matrix as the root) and solve directly. Returns
     /// `None` when the node cannot be expressed as a patch (shape change)
     /// — or `Some(Err(..))` for real verdicts.
     #[allow(clippy::type_complexity)]
     fn try_patched(
-        &mut self,
+        &self,
+        scratch: &mut NodeScratch,
         lp: &LpProblem,
         node_bounds: &[(VarId, f64, f64)],
         hint: Option<&WarmStart>,
@@ -297,14 +387,14 @@ impl NodeCtx {
                 _ => return None,
             }
         }
-        self.scratch.b.copy_from_slice(&self.inst.b);
-        self.scratch.upper.copy_from_slice(&self.inst.upper);
-        self.scratch_mapping.copy_from_slice(&self.lowering.mapping);
-        self.scratch_raw.copy_from_slice(&self.raw_rhs);
-        self.touched.clear();
+        scratch.inst.b.copy_from_slice(&self.inst.b);
+        scratch.inst.upper.copy_from_slice(&self.inst.upper);
+        scratch.mapping.copy_from_slice(&self.lowering.mapping);
+        scratch.raw.copy_from_slice(&self.raw_rhs);
+        scratch.touched.clear();
         let mut obj_const = self.lowering.obj_const;
         for &(v, lo, hi) in node_bounds {
-            let VarMap::Shifted { col, shift } = self.scratch_mapping[v.index()] else {
+            let VarMap::Shifted { col, shift } = scratch.mapping[v.index()] else {
                 unreachable!("checked above");
             };
             let dshift = lo - shift;
@@ -313,30 +403,30 @@ impl NodeCtx {
                     // Stored coefficients carry the row's normalization
                     // sign; undo it to update the raw right-hand side.
                     let sgn = if self.raw_rhs[i] < 0.0 { -1.0 } else { 1.0 };
-                    self.scratch_raw[i] -= stored * sgn * dshift;
-                    self.touched.push(i);
+                    scratch.raw[i] -= stored * sgn * dshift;
+                    scratch.touched.push(i);
                 }
                 obj_const += self.sign * lp.objective_coeff(v) * dshift;
-                self.scratch_mapping[v.index()] = VarMap::Shifted { col, shift: lo };
+                scratch.mapping[v.index()] = VarMap::Shifted { col, shift: lo };
             }
-            self.scratch.upper[col] = if hi.is_finite() {
+            scratch.inst.upper[col] = if hi.is_finite() {
                 hi - lo
             } else {
                 f64::INFINITY
             };
         }
-        for &i in &self.touched {
+        for &i in &scratch.touched {
             // A raw rhs crossing zero flips the row's slack/artificial
             // structure: not expressible as a patch.
-            if (self.raw_rhs[i] < 0.0) != (self.scratch_raw[i] < 0.0) {
+            if (self.raw_rhs[i] < 0.0) != (scratch.raw[i] < 0.0) {
                 return None;
             }
             let sgn = if self.raw_rhs[i] < 0.0 { -1.0 } else { 1.0 };
-            self.scratch.b[i] = sgn * self.scratch_raw[i];
+            scratch.inst.b[i] = sgn * scratch.raw[i];
         }
         let hint_slices = hint.map(|h| (h.basis.as_slice(), h.at_upper.as_slice()));
         let out =
-            match revised::solve_instance(&self.scratch, &SimplexOptions::default(), hint_slices) {
+            match revised::solve_instance(&scratch.inst, &SimplexOptions::default(), hint_slices) {
                 Ok(out) => out,
                 Err((SolverError::Numerical { .. }, _)) => return None, // dense-oracle path
                 Err((e, stats)) => {
@@ -344,7 +434,7 @@ impl NodeCtx {
                     return Some(Err(e));
                 }
             };
-        let values = recover_values(&self.scratch_mapping, &out.x);
+        let values = recover_values(&scratch.mapping, &out.x);
         let mut objective = out.objective + obj_const;
         if self.sign < 0.0 {
             objective = -objective;

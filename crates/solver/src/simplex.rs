@@ -100,6 +100,16 @@ pub struct SolveStats {
     /// 1 when the revised engine lost numerical control and the solve was
     /// retried on the dense tableau oracle, else 0.
     pub dense_fallbacks: usize,
+    /// LP solves routed through a batched/sharded parallel path — the
+    /// hierarchical policy's sharded probe LPs and multi-node MILP
+    /// branch-and-bound waves. Counts work *structure*, not thread usage:
+    /// the value is identical under any `GAVEL_THREADS`, because the
+    /// shard/wave decomposition is a pure function of the problem.
+    pub parallel_probes: usize,
+    /// Parallel shards (probe pass) or multi-node waves (MILP) those
+    /// solves were split across. Thread-count-invariant, like
+    /// [`SolveStats::parallel_probes`].
+    pub shards: usize,
 }
 
 impl SolveStats {
@@ -120,6 +130,8 @@ impl SolveStats {
         self.warm_hits += other.warm_hits;
         self.warm_falls_back += other.warm_falls_back;
         self.dense_fallbacks += other.dense_fallbacks;
+        self.parallel_probes += other.parallel_probes;
+        self.shards += other.shards;
     }
 }
 

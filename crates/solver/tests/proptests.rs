@@ -246,6 +246,54 @@ proptest! {
         }
     }
 
+    /// Wave-batched branch-and-bound is bit-identical under every thread
+    /// count: node waves are a pure function of the tree, workers only
+    /// change which core solves a node, and stats merge in node order —
+    /// so values, objective, and every `SolveStats` counter must match
+    /// the serial run exactly.
+    #[test]
+    fn milp_waves_parallel_matches_serial(
+        n in 2usize..10,
+        values in proptest::collection::vec(0.5f64..10.0, 10),
+        weights in proptest::collection::vec(0.5f64..5.0, 10),
+        cap_frac in 0.1f64..0.9,
+    ) {
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let cap = cap_frac * weights.iter().sum::<f64>();
+
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<VarId> = (0..n)
+            .map(|i| lp.add_var(&format!("x{i}"), 0.0, 1.0, values[i]))
+            .collect();
+        let terms: Vec<(VarId, f64)> =
+            vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect();
+        lp.add_constraint(&terms, Cmp::Le, cap);
+
+        for warm in [true, false] {
+            let opts = MilpOptions { warm_start: warm, ..MilpOptions::default() };
+            let base = gavel_par::with_threads(1, || solve_milp(&lp, &vars, &opts)).unwrap();
+            for threads in [2usize, 4, 7] {
+                let got =
+                    gavel_par::with_threads(threads, || solve_milp(&lp, &vars, &opts)).unwrap();
+                prop_assert!(
+                    got.objective.to_bits() == base.objective.to_bits(),
+                    "objective diverged at threads={threads} warm={warm}"
+                );
+                for (a, b) in base.values.iter().zip(&got.values) {
+                    prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "value diverged at threads={threads} warm={warm}: {a} vs {b}"
+                    );
+                }
+                prop_assert_eq!(
+                    base.stats, got.stats,
+                    "stats diverged at threads={} warm={}", threads, warm
+                );
+            }
+        }
+    }
+
     /// Feasibility invariant: any optimal solution satisfies all constraints
     /// and bounds even with equality rows and shifted bounds present.
     #[test]
